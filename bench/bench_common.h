@@ -1,0 +1,31 @@
+#pragma once
+
+// Shared helpers for the figure-regeneration benches. Every bench prints the
+// series of one paper figure as an aligned text table (and notes the paper's
+// reference values where the text quotes them), so the whole evaluation can
+// be regenerated with `for b in build/bench/*; do $b; done`.
+
+#include <iostream>
+#include <string>
+
+#include "device/mtj_device.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace mram::bench {
+
+inline void print_header(const std::string& figure, const std::string& what) {
+  std::cout << "\n=============================================================\n"
+            << figure << ": " << what << "\n"
+            << "=============================================================\n";
+}
+
+inline void print_footer(const std::string& notes) {
+  if (!notes.empty()) std::cout << notes << "\n";
+  std::cout.flush();
+}
+
+/// The paper's coercivity Hc = 2.2 kOe [A/m], used by Psi.
+inline double paper_hc() { return util::oe_to_a_per_m(2200.0); }
+
+}  // namespace mram::bench

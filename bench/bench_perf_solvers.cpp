@@ -1,0 +1,98 @@
+// google-benchmark microbenchmarks of the field solvers and the device
+// model -- the hot paths of the Monte Carlo studies.
+
+#include <benchmark/benchmark.h>
+
+#include "array/array_field.h"
+#include "array/intercell.h"
+#include "device/mtj_device.h"
+#include "magnetics/current_loop.h"
+#include "mram/mram_array.h"
+
+namespace {
+
+using namespace mram;
+
+const mag::CurrentLoop kLoop{{0, 0, 0}, 27.5e-9, 1.7648e-3};
+const num::Vec3 kPoint{40e-9, 10e-9, 5.2e-9};
+
+void BM_LoopFieldExact(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mag::loop_field_exact(kLoop, kPoint));
+  }
+}
+BENCHMARK(BM_LoopFieldExact);
+
+void BM_LoopFieldBiotSavart(benchmark::State& state) {
+  const int segments = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mag::loop_field_biot_savart(kLoop, kPoint, segments));
+  }
+}
+BENCHMARK(BM_LoopFieldBiotSavart)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_InterCellSolverBuild(benchmark::State& state) {
+  dev::StackGeometry stack;
+  stack.ecd = 35e-9;
+  for (auto _ : state) {
+    arr::InterCellSolver solver(stack, 70e-9);
+    benchmark::DoNotOptimize(solver.fixed_field());
+  }
+}
+BENCHMARK(BM_InterCellSolverBuild);
+
+void BM_InterCellPatternEval(benchmark::State& state) {
+  dev::StackGeometry stack;
+  stack.ecd = 35e-9;
+  const arr::InterCellSolver solver(stack, 70e-9);
+  int np = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.field_for(arr::Np8(np & 0xff)));
+    ++np;
+  }
+}
+BENCHMARK(BM_InterCellPatternEval);
+
+void BM_DeviceSwitchingTime(benchmark::State& state) {
+  const dev::MtjDevice device(dev::MtjParams::reference_device(35e-9));
+  const double hz = device.intra_stray_field();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        device.switching_time(dev::SwitchDirection::kApToP, 0.9, hz));
+  }
+}
+BENCHMARK(BM_DeviceSwitchingTime);
+
+void BM_ArrayFieldMap(benchmark::State& state) {
+  dev::StackGeometry stack;
+  stack.ecd = 35e-9;
+  const arr::ArrayFieldModel model(stack, 70e-9,
+                                   static_cast<int>(state.range(0)));
+  arr::DataGrid grid(16, 16, 0);
+  for (std::size_t i = 0; i < 16; ++i) grid.set(i, i, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.field_map(grid));
+  }
+}
+BENCHMARK(BM_ArrayFieldMap)->Arg(1)->Arg(2);
+
+void BM_MramWrite(benchmark::State& state) {
+  mem::ArrayConfig cfg;
+  cfg.device = dev::MtjParams::reference_device(35e-9);
+  cfg.pitch = 70e-9;
+  cfg.rows = cfg.cols = 8;
+  mem::MramArray array(cfg);
+  util::Rng rng(1);
+  const mem::WritePulse pulse{1.1, 50e-9};
+  int bit = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(array.write(4, 4, bit, pulse, rng));
+    bit = 1 - bit;
+  }
+}
+BENCHMARK(BM_MramWrite);
+
+}  // namespace
+
+BENCHMARK_MAIN();

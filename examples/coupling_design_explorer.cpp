@@ -1,0 +1,74 @@
+// Design-space exploration: given a target device size and a Psi budget,
+// find the densest manufacturable array and report the resulting bit
+// density, write margin and retention margin -- the engineering question the
+// paper's Fig. 4b answers for its own devices.
+//
+// Usage: coupling_design_explorer [ecd_nm] [psi_percent]
+//   defaults: ecd = 35 nm, psi budget = 2 %.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "array/coupling_factor.h"
+#include "array/intercell.h"
+#include "device/mtj_device.h"
+#include "util/error.h"
+#include "util/table.h"
+#include "util/units.h"
+
+int main(int argc, char** argv) {
+  using namespace mram;
+  using util::oe_to_a_per_m;
+  using util::s_to_ns;
+
+  const double ecd_nm = (argc > 1) ? std::atof(argv[1]) : 35.0;
+  const double psi_budget = ((argc > 2) ? std::atof(argv[2]) : 2.0) / 100.0;
+  if (ecd_nm < 10.0 || ecd_nm > 200.0 || psi_budget <= 0.0) {
+    std::cerr << "usage: coupling_design_explorer [ecd_nm 10..200] "
+                 "[psi_percent > 0]\n";
+    return 1;
+  }
+
+  const double ecd = ecd_nm * 1e-9;
+  const dev::MtjDevice device(dev::MtjParams::reference_device(ecd));
+  const double hc = oe_to_a_per_m(2200.0);
+  const double intra = device.intra_stray_field();
+
+  std::cout << "Design exploration for eCD = " << ecd_nm << " nm, Psi budget "
+            << psi_budget * 100.0 << " %\n\n";
+
+  util::Table t({"pitch/eCD", "pitch (nm)", "Psi (%)", "Gbit/cm^2",
+                 "worst tw@0.9V (ns)", "worst Delta_P", "within budget"});
+  for (double mult : {1.5, 1.75, 2.0, 2.25, 2.5, 3.0, 4.0}) {
+    const double pitch = mult * ecd;
+    const arr::InterCellSolver solver(device.params().stack, pitch);
+    const double psi = arr::coupling_factor(solver, hc);
+    const double h_worst =
+        intra + solver.field_for(arr::Np8::all_parallel());
+    const double tw = device.switching_time(dev::SwitchDirection::kApToP,
+                                            0.9, h_worst);
+    const double delta = device.delta(dev::MtjState::kParallel, h_worst);
+    // one cell per pitch^2: cells/m^2 * 1e-4 m^2/cm^2 / 1e9 bit/Gbit.
+    const double gbit_per_cm2 = 1.0 / (pitch * pitch) * 1e-4 / 1e9;
+    t.add_row({util::format_double(mult, 2),
+               util::format_double(pitch * 1e9, 1),
+               util::format_double(100.0 * psi, 2),
+               util::format_double(gbit_per_cm2, 2),
+               util::format_double(s_to_ns(tw), 2),
+               util::format_double(delta, 2),
+               psi <= psi_budget ? "yes" : "no"});
+  }
+  t.print(std::cout, "pitch sweep");
+
+  try {
+    const double best = arr::max_density_pitch(
+        device.params().stack, psi_budget, hc, 1.5 * ecd, 200e-9);
+    std::cout << "\nDensest pitch within the Psi budget: " << best * 1e9
+              << " nm (" << best / ecd << " x eCD), cell density "
+              << 1.0 / (best * best) * 1e-4 / 1e9 << " Gbit/cm^2\n";
+  } catch (const util::NumericalError&) {
+    std::cout << "\nThe Psi budget is not reachable within pitch <= 200 nm "
+                 "for this device.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Quickstart: build the paper's calibrated 35 nm device, inspect its stray
+// field, and evaluate the three performance metrics (Ic, tw, Delta) with and
+// without magnetic coupling inside a dense array.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <iostream>
+
+#include "array/coupling_factor.h"
+#include "array/intercell.h"
+#include "device/mtj_device.h"
+#include "util/units.h"
+
+int main() {
+  using namespace mram;
+  using util::a_per_m_to_oe;
+  using util::a_to_ua;
+  using util::s_to_ns;
+
+  // 1. The calibrated reference device (IMEC-like stack, eCD = 35 nm).
+  const dev::MtjDevice device(dev::MtjParams::reference_device(35e-9));
+  const double intra = device.intra_stray_field();
+  std::cout << "Device eCD = 35 nm\n"
+            << "  intra-cell stray field at the FL: "
+            << a_per_m_to_oe(intra) << " Oe\n"
+            << "  intrinsic critical current Ic0:   "
+            << a_to_ua(device.ic0()) << " uA\n\n";
+
+  // 2. Put it in an array: pitch = 2x eCD, the paper's density-optimal
+  //    point (Psi ~ 2 %).
+  const double pitch = 2.0 * 35e-9;
+  const arr::InterCellSolver coupling(device.params().stack, pitch);
+  const double psi = arr::coupling_factor(coupling,
+                                          util::oe_to_a_per_m(2200.0));
+  std::cout << "Array pitch = 2 x eCD = " << pitch * 1e9 << " nm\n"
+            << "  coupling factor Psi = " << 100.0 * psi << " %\n"
+            << "  Hz_s_inter range over neighborhood patterns: ["
+            << a_per_m_to_oe(coupling.field_range().min) << ", "
+            << a_per_m_to_oe(coupling.field_range().max) << "] Oe\n\n";
+
+  // 3. Evaluate the impact on writes and retention for the worst-case
+  //    neighborhood (all neighbors in P, NP8 = 0).
+  const double h_worst = intra + coupling.field_for(arr::Np8::all_parallel());
+  std::cout << "Write AP->P at Vp = 0.9 V:\n"
+            << "  Ic (worst case):        "
+            << a_to_ua(device.ic(dev::SwitchDirection::kApToP, h_worst))
+            << " uA\n"
+            << "  tw (no coupling):       "
+            << s_to_ns(device.switching_time(dev::SwitchDirection::kApToP,
+                                             0.9, 0.0))
+            << " ns\n"
+            << "  tw (worst case):        "
+            << s_to_ns(device.switching_time(dev::SwitchDirection::kApToP,
+                                             0.9, h_worst))
+            << " ns\n\n";
+
+  std::cout << "Retention (P state, 85 degC):\n"
+            << "  Delta (no coupling):    "
+            << device.delta(dev::MtjState::kParallel, 0.0, 358.15) << "\n"
+            << "  Delta (worst case):     "
+            << device.delta(dev::MtjState::kParallel, h_worst, 358.15)
+            << "\n";
+  return 0;
+}

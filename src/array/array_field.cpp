@@ -1,0 +1,96 @@
+#include "array/array_field.h"
+
+#include <numeric>
+
+#include "util/error.h"
+
+namespace mram::arr {
+
+using dev::Layer;
+using dev::MtjState;
+using num::Vec3;
+
+DataGrid::DataGrid(std::size_t rows, std::size_t cols, int fill)
+    : rows_(rows), cols_(cols), bits_(rows * cols) {
+  MRAM_EXPECTS(rows > 0 && cols > 0, "grid dimensions must be positive");
+  MRAM_EXPECTS(fill == 0 || fill == 1, "fill bit must be 0 or 1");
+  std::fill(bits_.begin(), bits_.end(), static_cast<std::uint8_t>(fill));
+}
+
+int DataGrid::at(std::size_t r, std::size_t c) const {
+  MRAM_EXPECTS(r < rows_ && c < cols_, "grid index out of range");
+  return bits_[r * cols_ + c];
+}
+
+void DataGrid::set(std::size_t r, std::size_t c, int bit) {
+  MRAM_EXPECTS(r < rows_ && c < cols_, "grid index out of range");
+  MRAM_EXPECTS(bit == 0 || bit == 1, "bit must be 0 or 1");
+  bits_[r * cols_ + c] = static_cast<std::uint8_t>(bit);
+}
+
+std::size_t DataGrid::popcount() const {
+  return std::accumulate(bits_.begin(), bits_.end(), std::size_t{0});
+}
+
+ArrayFieldModel::ArrayFieldModel(const dev::StackGeometry& stack, double pitch,
+                                 int radius, mag::FieldMethod method)
+    : stack_(stack), pitch_(pitch), radius_(radius) {
+  stack_.validate();
+  MRAM_EXPECTS(pitch >= stack.ecd, "pitch must be at least one diameter");
+  MRAM_EXPECTS(radius >= 1, "truncation radius must be >= 1");
+
+  const Vec3 victim{};
+  for (int dr = -radius; dr <= radius; ++dr) {
+    for (int dc = -radius; dc <= radius; ++dc) {
+      if (dr == 0 && dc == 0) continue;
+      const Vec3 cell{dc * pitch_, dr * pitch_, 0.0};
+      const auto rl = stack_.source_for(Layer::kReferenceLayer, cell);
+      const auto hl = stack_.source_for(Layer::kHardLayer, cell);
+      const auto fl =
+          stack_.source_for(Layer::kFreeLayer, cell, MtjState::kParallel);
+      Offset o;
+      o.dr = dr;
+      o.dc = dc;
+      o.fixed = mag::disk_field(rl, victim, method).z +
+                mag::disk_field(hl, victim, method).z;
+      o.fl_unit = mag::disk_field(fl, victim, method).z;
+      offsets_.push_back(o);
+    }
+  }
+}
+
+double ArrayFieldModel::interior_fixed_field() const {
+  double hz = 0.0;
+  for (const auto& o : offsets_) hz += o.fixed;
+  return hz;
+}
+
+double ArrayFieldModel::field_at(const DataGrid& grid, std::size_t r,
+                                 std::size_t c) const {
+  MRAM_EXPECTS(r < grid.rows() && c < grid.cols(), "cell index out of range");
+  double hz = 0.0;
+  const auto rows = static_cast<long>(grid.rows());
+  const auto cols = static_cast<long>(grid.cols());
+  for (const auto& o : offsets_) {
+    const long rr = static_cast<long>(r) + o.dr;
+    const long cc = static_cast<long>(c) + o.dc;
+    if (rr < 0 || rr >= rows || cc < 0 || cc >= cols) continue;
+    const int bit =
+        grid.at(static_cast<std::size_t>(rr), static_cast<std::size_t>(cc));
+    hz += o.fixed + (bit ? -o.fl_unit : o.fl_unit);
+  }
+  return hz;
+}
+
+std::vector<double> ArrayFieldModel::field_map(const DataGrid& grid) const {
+  std::vector<double> out;
+  out.reserve(grid.rows() * grid.cols());
+  for (std::size_t r = 0; r < grid.rows(); ++r) {
+    for (std::size_t c = 0; c < grid.cols(); ++c) {
+      out.push_back(field_at(grid, r, c));
+    }
+  }
+  return out;
+}
+
+}  // namespace mram::arr

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "device/stack_geometry.h"
+#include "magnetics/disk_source.h"
+
+// Generalized N x M array field model. The paper truncates the neighborhood
+// to the 3x3 window (radius 1); this model supports any truncation radius so
+// that bench_ablation_array_size can quantify the truncation error, and it
+// powers the memory-level simulations where every cell is simultaneously a
+// victim of its own neighborhood.
+
+namespace mram::arr {
+
+/// Data stored in an array: row-major bits (0 = P, 1 = AP).
+class DataGrid {
+ public:
+  DataGrid(std::size_t rows, std::size_t cols, int fill = 0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  int at(std::size_t r, std::size_t c) const;
+  void set(std::size_t r, std::size_t c, int bit);
+
+  /// Number of cells storing 1.
+  std::size_t popcount() const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<std::uint8_t> bits_;
+};
+
+/// Precomputed per-offset field contributions at a victim's FL center from a
+/// cell displaced by (dr, dc) within the truncation radius.
+class ArrayFieldModel {
+ public:
+  /// `radius`: neighborhood truncation in cells (1 = paper's 3x3 window).
+  ArrayFieldModel(const dev::StackGeometry& stack, double pitch, int radius,
+                  mag::FieldMethod method = mag::FieldMethod::kExact);
+
+  double pitch() const { return pitch_; }
+  int radius() const { return radius_; }
+
+  /// Data-independent (HL+RL) field from the full truncated neighborhood of
+  /// an interior cell [A/m].
+  double interior_fixed_field() const;
+
+  /// Hz_s_inter at cell (r, c) of `grid` [A/m]. Edge cells see fewer
+  /// aggressors (open boundary).
+  double field_at(const DataGrid& grid, std::size_t r, std::size_t c) const;
+
+  /// Hz_s_inter at every cell, row-major.
+  std::vector<double> field_map(const DataGrid& grid) const;
+
+ private:
+  struct Offset {
+    int dr;
+    int dc;
+    double fixed;    ///< HL + RL contribution [A/m]
+    double fl_unit;  ///< FL contribution when the aggressor stores P [A/m]
+  };
+
+  dev::StackGeometry stack_;
+  double pitch_;
+  int radius_;
+  std::vector<Offset> offsets_;
+};
+
+}  // namespace mram::arr

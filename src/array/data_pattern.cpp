@@ -1,0 +1,64 @@
+#include "array/data_pattern.h"
+
+#include "util/error.h"
+
+namespace mram::arr {
+
+const char* to_string(PatternKind kind) {
+  switch (kind) {
+    case PatternKind::kAllZero:
+      return "all-0";
+    case PatternKind::kAllOne:
+      return "all-1";
+    case PatternKind::kCheckerboard:
+      return "checkerboard";
+    case PatternKind::kRowStripes:
+      return "row-stripes";
+    case PatternKind::kColStripes:
+      return "col-stripes";
+    case PatternKind::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+DataGrid make_pattern(PatternKind kind, std::size_t rows, std::size_t cols,
+                      util::Rng& rng, bool invert) {
+  DataGrid grid(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      int bit = 0;
+      switch (kind) {
+        case PatternKind::kAllZero:
+          bit = 0;
+          break;
+        case PatternKind::kAllOne:
+          bit = 1;
+          break;
+        case PatternKind::kCheckerboard:
+          bit = static_cast<int>((r + c) % 2);
+          break;
+        case PatternKind::kRowStripes:
+          bit = static_cast<int>(r % 2);
+          break;
+        case PatternKind::kColStripes:
+          bit = static_cast<int>(c % 2);
+          break;
+        case PatternKind::kRandom:
+          bit = rng.bernoulli(0.5) ? 1 : 0;
+          break;
+      }
+      if (invert) bit = 1 - bit;
+      grid.set(r, c, bit);
+    }
+  }
+  return grid;
+}
+
+std::vector<PatternKind> deterministic_patterns() {
+  return {PatternKind::kAllZero, PatternKind::kAllOne,
+          PatternKind::kCheckerboard, PatternKind::kRowStripes,
+          PatternKind::kColStripes};
+}
+
+}  // namespace mram::arr

@@ -1,0 +1,31 @@
+#pragma once
+
+#include "array/array_field.h"
+#include "util/rng.h"
+
+// Canonical memory test data backgrounds. Used by the memory-level fault
+// analysis (worst-case write/retention conditions depend on the data in the
+// neighborhood, so march-style tests sweep these backgrounds).
+
+namespace mram::arr {
+
+enum class PatternKind {
+  kAllZero,       ///< solid P background (the paper's worst case for writes)
+  kAllOne,        ///< solid AP background
+  kCheckerboard,  ///< (r+c) parity
+  kRowStripes,    ///< alternating rows
+  kColStripes,    ///< alternating columns
+  kRandom,        ///< i.i.d. uniform bits
+};
+
+const char* to_string(PatternKind kind);
+
+/// Generates a rows x cols grid of the given pattern. `rng` is only used for
+/// kRandom; `invert` flips every bit (e.g. inverse checkerboard).
+DataGrid make_pattern(PatternKind kind, std::size_t rows, std::size_t cols,
+                      util::Rng& rng, bool invert = false);
+
+/// All deterministic kinds (excludes kRandom), for sweeps.
+std::vector<PatternKind> deterministic_patterns();
+
+}  // namespace mram::arr

@@ -1,0 +1,99 @@
+#include "array/intercell.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace mram::arr {
+
+using dev::Layer;
+using dev::MtjState;
+using num::Vec3;
+
+InterCellSolver::InterCellSolver(const dev::StackGeometry& stack, double pitch,
+                                 mag::FieldMethod method)
+    : stack_(stack), pitch_(pitch) {
+  stack_.validate();
+  MRAM_EXPECTS(pitch >= stack.ecd,
+               "pitch must be at least one device diameter");
+
+  const Vec3 victim_fl_center{};  // victim FL mid-plane at the origin
+  const auto& offsets = neighbor_offsets();
+  fixed_ = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    const Vec3 cell{offsets[i].dx * pitch_, offsets[i].dy * pitch_, 0.0};
+    const auto rl = stack_.source_for(Layer::kReferenceLayer, cell);
+    const auto hl = stack_.source_for(Layer::kHardLayer, cell);
+    const auto fl_p =
+        stack_.source_for(Layer::kFreeLayer, cell, MtjState::kParallel);
+    fixed_ += mag::disk_field(rl, victim_fl_center, method).z +
+              mag::disk_field(hl, victim_fl_center, method).z;
+    fl_unit_[i] = mag::disk_field(fl_p, victim_fl_center, method).z;
+  }
+}
+
+double InterCellSolver::fl_unit_field(int i) const {
+  MRAM_EXPECTS(i >= 0 && i < 8, "aggressor index must be 0..7");
+  return fl_unit_[i];
+}
+
+double InterCellSolver::field_for(Np8 np8) const {
+  double hz = fixed_;
+  for (int i = 0; i < 8; ++i) {
+    // Data 0 (P): +fl_unit; data 1 (AP): FL moment reversed.
+    hz += np8.bit(i) ? -fl_unit_[i] : fl_unit_[i];
+  }
+  return hz;
+}
+
+InterCellSolver::Range InterCellSolver::field_range() const {
+  double lo = fixed_;
+  double hi = fixed_;
+  for (double f : fl_unit_) {
+    lo -= std::abs(f);
+    hi += std::abs(f);
+  }
+  return {lo, hi};
+}
+
+double InterCellSolver::direct_step() const {
+  // C0..C3 are symmetric; flipping one P -> AP changes the field by
+  // -2 * fl_unit (fl_unit is negative for P aggressors, so the step is up).
+  return -2.0 * fl_unit_[0];
+}
+
+double InterCellSolver::diagonal_step() const { return -2.0 * fl_unit_[4]; }
+
+num::Vec3 intercell_field_vector(const dev::StackGeometry& stack,
+                                 double pitch, Np8 np8,
+                                 mag::FieldMethod method) {
+  stack.validate();
+  MRAM_EXPECTS(pitch >= stack.ecd,
+               "pitch must be at least one device diameter");
+  const auto& offsets = neighbor_offsets();
+  Vec3 h{};
+  const Vec3 victim{};
+  for (int i = 0; i < 8; ++i) {
+    const Vec3 cell{offsets[i].dx * pitch, offsets[i].dy * pitch, 0.0};
+    h += mag::disk_field(stack.source_for(Layer::kReferenceLayer, cell),
+                         victim, method);
+    h += mag::disk_field(stack.source_for(Layer::kHardLayer, cell), victim,
+                         method);
+    h += mag::disk_field(
+        stack.source_for(Layer::kFreeLayer, cell,
+                         dev::bit_to_state(np8.bit(i))),
+        victim, method);
+  }
+  return h;
+}
+
+std::vector<ClassField> np8_class_fields(const InterCellSolver& solver) {
+  std::vector<ClassField> out;
+  out.reserve(25);
+  for (const auto& cls : all_np8_classes()) {
+    out.push_back({cls, solver.field_for(cls.representative())});
+  }
+  return out;
+}
+
+}  // namespace mram::arr

@@ -1,0 +1,69 @@
+#include "array/neighborhood.h"
+
+#include "util/error.h"
+
+namespace mram::arr {
+
+const std::array<NeighborOffset, 8>& neighbor_offsets() {
+  // Paper order: C0..C3 direct, C4..C7 diagonal (Fig. 1b).
+  static const std::array<NeighborOffset, 8> kOffsets = {{
+      {0, +1, false},   // C0: north
+      {0, -1, false},   // C1: south
+      {-1, 0, false},   // C2: west
+      {+1, 0, false},   // C3: east
+      {-1, +1, true},   // C4: north-west
+      {+1, +1, true},   // C5: north-east
+      {-1, -1, true},   // C6: south-west
+      {+1, -1, true},   // C7: south-east
+  }};
+  return kOffsets;
+}
+
+int Np8::ones_direct() const {
+  int n = 0;
+  for (int i = 0; i < 4; ++i) n += bit(i);
+  return n;
+}
+
+int Np8::ones_diagonal() const {
+  int n = 0;
+  for (int i = 4; i < 8; ++i) n += bit(i);
+  return n;
+}
+
+Np8 Np8Class::representative() const {
+  MRAM_EXPECTS(ones_direct >= 0 && ones_direct <= 4,
+               "direct ones count must be 0..4");
+  MRAM_EXPECTS(ones_diagonal >= 0 && ones_diagonal <= 4,
+               "diagonal ones count must be 0..4");
+  int v = 0;
+  for (int i = 0; i < ones_direct; ++i) v |= 1 << i;
+  for (int i = 0; i < ones_diagonal; ++i) v |= 1 << (4 + i);
+  return Np8(v);
+}
+
+namespace {
+constexpr int kChoose4[] = {1, 4, 6, 4, 1};
+}
+
+int Np8Class::multiplicity() const {
+  return kChoose4[ones_direct] * kChoose4[ones_diagonal];
+}
+
+std::vector<Np8Class> all_np8_classes() {
+  std::vector<Np8Class> classes;
+  classes.reserve(25);
+  for (int d = 0; d <= 4; ++d) {
+    for (int g = 0; g <= 4; ++g) classes.push_back({d, g});
+  }
+  return classes;
+}
+
+std::vector<Np8> all_np8_patterns() {
+  std::vector<Np8> patterns;
+  patterns.reserve(256);
+  for (int v = 0; v < 256; ++v) patterns.emplace_back(v);
+  return patterns;
+}
+
+}  // namespace mram::arr

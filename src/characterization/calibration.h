@@ -1,0 +1,80 @@
+#pragma once
+
+#include <vector>
+
+#include "device/mtj_device.h"
+
+// Calibration of the magnetostatic model against the paper's published data
+// (the paper's own flow: measure -> calibrate intra-cell model -> extrapolate
+// to arrays). Three fits:
+//
+//   1. fit_fixed_layer_ms_t : (Ms*t)_RL and (Ms*t)_HL from the Hz_s_intra
+//      vs. eCD anchors digitized from Fig. 2b / Fig. 3d.
+//   2. fit_free_layer_ms_t  : (Ms*t)_FL from the Fig. 4a direct-neighbor
+//      step (+15 Oe per P->AP flip at eCD = 55 nm, pitch = 90 nm).
+//   3. fit_sun_prefactor    : kappa from the Fig. 5 switching-time level
+//      (tw(AP->P) ~ 20 ns at Vp = 0.72 V with intra-cell stray field only).
+//
+// The fitted values are baked into the defaults of StackGeometry/MtjParams;
+// tests/characterization asserts that re-running the fits reproduces them.
+
+namespace mram::chr {
+
+/// One digitized anchor of Fig. 2b / Fig. 3d: Hz_s_intra at the FL center.
+struct IntraFieldAnchor {
+  double ecd;       ///< [m]
+  double hz_intra;  ///< [A/m] (negative for this stack)
+  double weight = 1.0;
+};
+
+/// The anchor set used for the shipped calibration (paper Figs. 2b, 3d).
+std::vector<IntraFieldAnchor> fig2b_anchors();
+
+/// Loads anchors from a CSV file with columns `ecd_nm, hz_oe, weight`
+/// (the same data ships in data/fig2b_anchors.csv). Throws
+/// util::ConfigError on malformed input.
+std::vector<IntraFieldAnchor> anchors_from_csv(const std::string& path);
+
+struct FixedLayerFit {
+  double ms_t_reference = 0.0;  ///< [A]
+  double ms_t_hard = 0.0;       ///< [A]
+  double rms_error_oe = 0.0;    ///< RMS anchor residual [Oe]
+  bool converged = false;
+};
+
+/// Least-squares fit of the two fixed-layer Ms*t products on `geometry`
+/// (whose thicknesses define the layer distances; its ms_t values are
+/// ignored). Anchors default to fig2b_anchors().
+FixedLayerFit fit_fixed_layer_ms_t(
+    const dev::StackGeometry& geometry,
+    const std::vector<IntraFieldAnchor>& anchors = fig2b_anchors());
+
+/// (Ms*t)_FL such that flipping one direct neighbor changes Hz_s_inter by
+/// `target_step` [A/m] at the given eCD and pitch (Fig. 4a: 15 Oe at
+/// eCD = 55 nm, pitch = 90 nm). Linear in Ms*t, so solved in closed form.
+double fit_free_layer_ms_t(const dev::StackGeometry& geometry,
+                           double ecd, double pitch, double target_step);
+
+/// Sun-model prefactor kappa such that the calibrated eCD = 35 nm device
+/// has tw(AP->P) = `target_tw` seconds at `vp` volts under its intra-cell
+/// stray field. Linear in 1/kappa, solved in closed form.
+double fit_sun_prefactor(const dev::MtjParams& params, double vp,
+                         double target_tw);
+
+/// Residual report row: model vs. anchor.
+struct CalibrationResidual {
+  double ecd;         ///< [m]
+  double target_oe;   ///< anchor [Oe]
+  double model_oe;    ///< fitted model [Oe]
+};
+
+/// Evaluates the calibrated geometry against the anchors (EXPERIMENTS.md
+/// table).
+std::vector<CalibrationResidual> calibration_residuals(
+    const dev::StackGeometry& geometry,
+    const std::vector<IntraFieldAnchor>& anchors = fig2b_anchors());
+
+/// Hz_s_intra at the FL center for `geometry` resized to `ecd` [A/m].
+double intra_field_for_ecd(const dev::StackGeometry& geometry, double ecd);
+
+}  // namespace mram::chr

@@ -1,0 +1,66 @@
+#include "characterization/extraction.h"
+
+#include <algorithm>
+
+#include "device/electrical.h"
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace mram::chr {
+
+using dev::MtjState;
+
+LoopExtraction extract_loop_parameters(const RhLoopTrace& trace, double ra) {
+  MRAM_EXPECTS(trace.points.size() >= 8, "trace too short to extract");
+  MRAM_EXPECTS(ra > 0.0, "RA must be positive");
+
+  LoopExtraction out;
+
+  // Resistance plateaus from state-labeled points (the labels are what a
+  // real measurement infers from the resistance bimodality; our emulation
+  // records them directly).
+  util::RunningStats rp_stats, rap_stats;
+  for (const auto& pt : trace.points) {
+    if (pt.state == MtjState::kParallel) {
+      rp_stats.add(pt.resistance);
+    } else {
+      rap_stats.add(pt.resistance);
+    }
+  }
+  if (rp_stats.empty() || rap_stats.empty()) {
+    return out;  // device never switched; loop invalid
+  }
+  out.rp = rp_stats.mean();
+  out.rap = rap_stats.mean();
+  out.tmr = (out.rap - out.rp) / out.rp;
+  out.ecd = dev::ElectricalModel::ecd_from_rp(ra, out.rp);
+
+  // Switching fields: first AP->P transition (positive branch) and first
+  // P->AP transition (negative branch).
+  bool found_p = false;
+  bool found_n = false;
+  for (std::size_t i = 1; i < trace.points.size(); ++i) {
+    const auto& prev = trace.points[i - 1];
+    const auto& cur = trace.points[i];
+    if (!found_p && prev.state == MtjState::kAntiParallel &&
+        cur.state == MtjState::kParallel) {
+      out.hsw_p = cur.h_applied;
+      found_p = true;
+    }
+    if (!found_n && prev.state == MtjState::kParallel &&
+        cur.state == MtjState::kAntiParallel) {
+      out.hsw_n = cur.h_applied;
+      found_n = true;
+    }
+    if (found_p && found_n) break;
+  }
+  if (!(found_p && found_n)) return out;
+
+  out.valid = true;
+  out.hc = 0.5 * (out.hsw_p - out.hsw_n);
+  out.hoffset = 0.5 * (out.hsw_p + out.hsw_n);
+  out.hs_intra = -out.hoffset;
+  return out;
+}
+
+}  // namespace mram::chr

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "characterization/rh_loop.h"
+
+// Parameter extraction from a measured R-H loop (Sec. III):
+//   Hsw_p : AP -> P switching field on the downward-from-positive branch
+//   Hsw_n : P -> AP switching field on the negative branch
+//   Hc    = (Hsw_p - Hsw_n) / 2
+//   Hoffset = (Hsw_p + Hsw_n) / 2,  and  Hs_intra = -Hoffset
+//   R_P / R_AP from the low/high resistance plateaus; TMR = (RAP-RP)/RP
+//   eCD = sqrt(4/pi * RA / R_P)
+
+namespace mram::chr {
+
+struct LoopExtraction {
+  bool valid = false;   ///< both switching events found
+  double hsw_p = 0.0;   ///< [A/m]
+  double hsw_n = 0.0;   ///< [A/m]
+  double hc = 0.0;      ///< [A/m]
+  double hoffset = 0.0; ///< [A/m]
+  double hs_intra = 0.0;///< [A/m], = -hoffset
+  double rp = 0.0;      ///< [Ohm]
+  double rap = 0.0;     ///< [Ohm]
+  double tmr = 0.0;     ///< ratio
+  double ecd = 0.0;     ///< [m], from RA and R_P
+};
+
+/// Extracts loop parameters. `ra` is the known resistance-area product
+/// [Ohm*m^2] from blanket-stage measurement (used for the eCD inversion).
+LoopExtraction extract_loop_parameters(const RhLoopTrace& trace, double ra);
+
+}  // namespace mram::chr

@@ -1,0 +1,111 @@
+#include "characterization/fitting.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numerics/optimize.h"
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace mram::chr {
+
+std::vector<double> ramp_switching_cdf(const std::vector<double>& fields,
+                                       double dwell, double attempt_time,
+                                       double hk, double delta0,
+                                       double h_offset) {
+  MRAM_EXPECTS(dwell > 0.0 && attempt_time > 0.0, "invalid timing");
+  std::vector<double> cdf;
+  cdf.reserve(fields.size());
+  double log_survival = 0.0;
+  for (double h : fields) {
+    const double h_eff = std::clamp((h + h_offset) / hk, -1.0, 1.0);
+    // Barrier for leaving AP (moment along -z): Delta0 * (1 - h_eff)^2.
+    const double barrier = delta0 * (1.0 - h_eff) * (1.0 - h_eff);
+    const double rate = std::exp(-barrier) / attempt_time;
+    log_survival -= dwell * rate;
+    cdf.push_back(-std::expm1(log_survival));
+  }
+  return cdf;
+}
+
+HkDelta0Fit fit_hk_delta0(const std::vector<double>& hsw_p_samples,
+                          const RhLoopProtocol& protocol,
+                          double attempt_time) {
+  MRAM_EXPECTS(hsw_p_samples.size() >= 10,
+               "need at least 10 switching samples for a stable fit");
+  protocol.validate();
+
+  // Empirical CDF on a grid.
+  const auto empirical = empirical_psw(hsw_p_samples, 61);
+
+  // Evaluate the model on the ascending part of the ramp, then interpolate
+  // onto the empirical grid.
+  std::vector<double> ramp_fields;
+  const std::size_t quarter = protocol.points / 4;
+  ramp_fields.reserve(quarter + 1);
+  for (std::size_t i = 0; i <= quarter; ++i) {
+    ramp_fields.push_back(protocol.h_max * static_cast<double>(i) /
+                          static_cast<double>(quarter));
+  }
+
+  auto residuals = [&](const std::vector<double>& params) {
+    const double hk = params[0];
+    const double delta0 = params[1];
+    const double h_offset = params[2];
+    std::vector<double> res;
+    res.reserve(empirical.size());
+    if (hk <= 0.0 || delta0 <= 0.0) {
+      // Penalize out-of-domain parameters smoothly.
+      res.assign(empirical.size(), 10.0);
+      return res;
+    }
+    const auto model_cdf = ramp_switching_cdf(ramp_fields, protocol.dwell,
+                                              attempt_time, hk, delta0,
+                                              h_offset);
+    for (const auto& pt : empirical) {
+      // Linear interpolation of the model CDF at the empirical field.
+      double model = 0.0;
+      if (pt.h <= ramp_fields.front()) {
+        model = model_cdf.front();
+      } else if (pt.h >= ramp_fields.back()) {
+        model = model_cdf.back();
+      } else {
+        const auto it = std::upper_bound(ramp_fields.begin(),
+                                         ramp_fields.end(), pt.h);
+        const auto hi = static_cast<std::size_t>(it - ramp_fields.begin());
+        const double t = (pt.h - ramp_fields[hi - 1]) /
+                         (ramp_fields[hi] - ramp_fields[hi - 1]);
+        model = model_cdf[hi - 1] + t * (model_cdf[hi] - model_cdf[hi - 1]);
+      }
+      res.push_back(model - pt.p);
+    }
+    return res;
+  };
+
+  // Initial guesses: the median switching field Hmed satisfies roughly
+  // Delta0 (1 - Hmed/Hk)^2 = ln(f0 * dwell / ln 2); seed with Delta0 = 40
+  // and solve for Hk.
+  const double hmed = util::median(hsw_p_samples);
+  const double delta0_seed = 40.0;
+  const double log_ft =
+      std::log(protocol.dwell / (attempt_time * std::log(2.0)));
+  const double frac = 1.0 - std::sqrt(std::max(log_ft, 1.0) / delta0_seed);
+  const double hk_seed = hmed / std::max(frac, 0.1);
+
+  num::LevenbergMarquardtOptions opts;
+  opts.max_iterations = 300;
+  const auto result = num::levenberg_marquardt(
+      residuals, {hk_seed, delta0_seed, 0.0}, opts);
+
+  HkDelta0Fit fit;
+  fit.hk = result.parameters[0];
+  fit.delta0 = result.parameters[1];
+  fit.h_offset = result.parameters[2];
+  fit.converged = result.converged;
+  fit.iterations = result.iterations;
+  fit.rms_error = std::sqrt(2.0 * result.cost /
+                            static_cast<double>(empirical.size()));
+  return fit;
+}
+
+}  // namespace mram::chr

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+#include "characterization/psw.h"
+
+// Hk / Delta0 extraction by curve fitting (the technique of Thomas et al.
+// [21], Sec. V-A of the paper): the distribution of ramp switching fields
+// encodes both the anisotropy field and the thermal stability. We fit the
+// thermal-activation ramp model
+//
+//   P(switched by field H) = 1 - prod_{H_i <= H} exp(-dwell/tau0 *
+//                                 exp(-Delta0 (1 - (H_i + Hoffset_eff)/Hk)^2))
+//
+// to the empirical switching-probability curve with Levenberg--Marquardt
+// over (Hk, Delta0, Hoffset_eff).
+
+namespace mram::chr {
+
+struct HkDelta0Fit {
+  double hk = 0.0;        ///< [A/m]
+  double delta0 = 0.0;    ///< at the protocol temperature
+  double h_offset = 0.0;  ///< effective loop offset (=-Hs_intra) [A/m]
+  double rms_error = 0.0; ///< RMS probability residual
+  bool converged = false;
+  int iterations = 0;
+};
+
+/// Model CDF of the AP->P ramp switching field at each field in `fields`
+/// (ascending ramp with constant `dwell` per point). `h_offset` shifts the
+/// effective field (stray field at the FL).
+std::vector<double> ramp_switching_cdf(const std::vector<double>& fields,
+                                       double dwell, double attempt_time,
+                                       double hk, double delta0,
+                                       double h_offset);
+
+/// Fits (Hk, Delta0, Hoffset) to AP->P switching-field samples collected by
+/// measure_switching_statistics under `protocol`. `attempt_time` (tau0) is
+/// assumed known. Initial guesses are derived from the sample median/spread.
+HkDelta0Fit fit_hk_delta0(const std::vector<double>& hsw_p_samples,
+                          const RhLoopProtocol& protocol,
+                          double attempt_time);
+
+}  // namespace mram::chr

@@ -1,0 +1,55 @@
+#include "characterization/psw.h"
+
+#include <algorithm>
+
+#include "numerics/interp.h"
+#include "util/error.h"
+
+namespace mram::chr {
+
+CycleStatistics measure_switching_statistics(const dev::MtjDevice& device,
+                                             const RhLoopProtocol& protocol,
+                                             double hz_stray,
+                                             std::size_t cycles,
+                                             util::Rng& rng) {
+  MRAM_EXPECTS(cycles > 0, "need at least one cycle");
+  CycleStatistics stats;
+  stats.hsw_p.reserve(cycles);
+  stats.hsw_n.reserve(cycles);
+  for (std::size_t c = 0; c < cycles; ++c) {
+    const auto trace = measure_rh_loop(device, protocol, hz_stray, rng);
+    const auto ex =
+        extract_loop_parameters(trace, device.params().electrical.ra);
+    if (!ex.valid) {
+      ++stats.invalid_cycles;
+      continue;
+    }
+    stats.hsw_p.push_back(ex.hsw_p);
+    stats.hsw_n.push_back(ex.hsw_n);
+  }
+  return stats;
+}
+
+std::vector<PswPoint> empirical_psw(const std::vector<double>& hsw,
+                                    std::size_t bins) {
+  MRAM_EXPECTS(hsw.size() >= 2, "need at least two switching events");
+  MRAM_EXPECTS(bins >= 2, "need at least two bins");
+
+  std::vector<double> sorted = hsw;
+  std::sort(sorted.begin(), sorted.end());
+
+  std::vector<PswPoint> out;
+  out.reserve(bins);
+  // Extend the grid slightly beyond the sample so the curve reaches 0 and 1.
+  const double span = std::max(sorted.back() - sorted.front(), 1e-12);
+  const double lo = sorted.front() - 0.05 * span;
+  const double hi = sorted.back() + 0.05 * span;
+  for (double h : num::linspace(lo, hi, bins)) {
+    const auto count = static_cast<double>(
+        std::upper_bound(sorted.begin(), sorted.end(), h) - sorted.begin());
+    out.push_back({h, count / static_cast<double>(sorted.size())});
+  }
+  return out;
+}
+
+}  // namespace mram::chr

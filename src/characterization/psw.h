@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "characterization/extraction.h"
+
+// Switching-probability statistics over repeated loop cycles (Sec. V-A: "we
+// measured the R-H loop of the same device for 1000 cycles to obtain a
+// statistical result of the switching probability at varying fields").
+
+namespace mram::chr {
+
+struct CycleStatistics {
+  std::vector<double> hsw_p;  ///< per-cycle AP->P switching fields [A/m]
+  std::vector<double> hsw_n;  ///< per-cycle P->AP switching fields [A/m]
+  std::size_t invalid_cycles = 0;
+};
+
+/// Runs `cycles` stochastic R-H loops and collects the switching fields.
+CycleStatistics measure_switching_statistics(const dev::MtjDevice& device,
+                                             const RhLoopProtocol& protocol,
+                                             double hz_stray,
+                                             std::size_t cycles,
+                                             util::Rng& rng);
+
+/// Empirical switching probability curve: P_sw(h) = fraction of cycles whose
+/// switching field is <= h, evaluated on a grid of `bins` field values
+/// spanning the sample range. Returns pairs (h [A/m], probability).
+struct PswPoint {
+  double h;
+  double p;
+};
+std::vector<PswPoint> empirical_psw(const std::vector<double>& hsw,
+                                    std::size_t bins = 41);
+
+}  // namespace mram::chr

@@ -1,0 +1,67 @@
+#include "characterization/rh_loop.h"
+
+#include "numerics/interp.h"
+#include "util/error.h"
+
+namespace mram::chr {
+
+using dev::MtjState;
+
+void RhLoopProtocol::validate() const {
+  if (h_max <= 0.0) throw util::ConfigError("ramp amplitude must be positive");
+  if (points < 8) throw util::ConfigError("need at least 8 field points");
+  if (dwell <= 0.0) throw util::ConfigError("dwell must be positive");
+  if (temperature <= 0.0) {
+    throw util::ConfigError("temperature must be positive");
+  }
+}
+
+std::vector<double> field_schedule(const RhLoopProtocol& protocol) {
+  protocol.validate();
+  // Three ramp segments proportional in length to their field span:
+  // 0 -> +H (1/4), +H -> -H (1/2), -H -> 0 (1/4).
+  const std::size_t quarter = protocol.points / 4;
+  const std::size_t half = protocol.points - 2 * quarter;
+
+  std::vector<double> fields;
+  fields.reserve(protocol.points + 3);
+  auto up = num::linspace(0.0, protocol.h_max, quarter + 1);
+  auto down = num::linspace(protocol.h_max, -protocol.h_max, half + 1);
+  auto back = num::linspace(-protocol.h_max, 0.0, quarter + 1);
+  fields.insert(fields.end(), up.begin(), up.end());
+  fields.insert(fields.end(), down.begin() + 1, down.end());
+  fields.insert(fields.end(), back.begin() + 1, back.end());
+  return fields;
+}
+
+RhLoopTrace measure_rh_loop(const dev::MtjDevice& device,
+                            const RhLoopProtocol& protocol, double hz_stray,
+                            util::Rng& rng) {
+  const auto schedule = field_schedule(protocol);
+  const double scale =
+      device.params().thermal.stray_field_scale(protocol.temperature);
+  const double read_v = device.params().electrical.read_voltage;
+
+  RhLoopTrace trace;
+  trace.points.reserve(schedule.size());
+
+  MtjState state = MtjState::kAntiParallel;  // Fig. 2a starts high-R
+  for (double h_applied : schedule) {
+    const double h_total = h_applied + hz_stray * scale;
+    // Only transitions toward the state favored by the total field are
+    // allowed; the reverse barrier is raised by the same field, making its
+    // rate negligible. flip_probability handles the barrier magnitude.
+    const double p_flip = device.flip_probability(state, h_total,
+                                                  protocol.dwell,
+                                                  protocol.temperature);
+    if (rng.bernoulli(p_flip)) {
+      state = (state == MtjState::kParallel) ? MtjState::kAntiParallel
+                                             : MtjState::kParallel;
+    }
+    trace.points.push_back(
+        {h_applied, device.electrical().resistance(state, read_v), state});
+  }
+  return trace;
+}
+
+}  // namespace mram::chr

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+#include "device/mtj_device.h"
+#include "util/rng.h"
+
+// Emulation of the paper's R-H hysteresis loop measurement (Sec. III):
+// a perpendicular external field is ramped 0 -> +Hmax -> -Hmax -> 0 over
+// `points` field steps; after each step the device resistance is read at a
+// small bias. Switching at each point is stochastic (thermal activation over
+// the Stoner--Wohlfarth barrier during the dwell), so repeated loops yield
+// distributions of the switching fields Hsw_p / Hsw_n -- exactly the data
+// the paper uses to extract Hc, Hoffset, and (over 1000 cycles) Hk and
+// Delta0 via curve fitting.
+
+namespace mram::chr {
+
+struct RhLoopProtocol {
+  double h_max = 238732.0;   ///< ramp amplitude [A/m] (3 kOe, as in Sec. III)
+  std::size_t points = 1000; ///< field points over the full loop
+  double dwell = 1e-3;       ///< time spent at each field point [s]
+  double temperature = 300.0;
+
+  void validate() const;
+};
+
+struct RhLoopPoint {
+  double h_applied;   ///< external field [A/m]
+  double resistance;  ///< measured resistance [Ohm]
+  dev::MtjState state;
+};
+
+struct RhLoopTrace {
+  std::vector<RhLoopPoint> points;
+};
+
+/// Field schedule of the protocol: 0 -> +Hmax -> -Hmax -> 0, `points` values.
+std::vector<double> field_schedule(const RhLoopProtocol& protocol);
+
+/// Runs one stochastic loop measurement. `hz_stray` is the total
+/// out-of-plane stray field at the FL [A/m] (intra-cell for an isolated
+/// device; add inter-cell for a device inside an array). The device starts
+/// in the AP state (high resistance) as in Fig. 2a.
+RhLoopTrace measure_rh_loop(const dev::MtjDevice& device,
+                            const RhLoopProtocol& protocol, double hz_stray,
+                            util::Rng& rng);
+
+}  // namespace mram::chr

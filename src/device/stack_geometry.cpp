@@ -1,0 +1,95 @@
+#include "device/stack_geometry.h"
+
+#include "util/constants.h"
+#include "util/error.h"
+
+namespace mram::dev {
+
+double StackGeometry::area() const {
+  const double r = radius();
+  return util::kPi * r * r;
+}
+
+double StackGeometry::volume() const { return area() * t_free; }
+
+double StackGeometry::layer_center_z(Layer layer) const {
+  switch (layer) {
+    case Layer::kFreeLayer:
+      return 0.0;
+    case Layer::kReferenceLayer:
+      // FL mid-plane -> FL bottom -> TB -> RL center.
+      return -(0.5 * t_free + t_barrier + 0.5 * t_reference);
+    case Layer::kHardLayer:
+      return -(0.5 * t_free + t_barrier + t_reference + t_spacer +
+               0.5 * t_hard);
+  }
+  throw util::ConfigError("unknown layer");
+}
+
+int StackGeometry::layer_polarity(Layer layer, MtjState state) const {
+  switch (layer) {
+    case Layer::kReferenceLayer:
+      return reference_polarity;
+    case Layer::kHardLayer:
+      return -reference_polarity;  // SAF: antiparallel to the RL
+    case Layer::kFreeLayer:
+      return state == MtjState::kParallel ? reference_polarity
+                                          : -reference_polarity;
+  }
+  throw util::ConfigError("unknown layer");
+}
+
+double StackGeometry::layer_ms_t(Layer layer) const {
+  switch (layer) {
+    case Layer::kFreeLayer:
+      return ms_t_free;
+    case Layer::kReferenceLayer:
+      return ms_t_reference;
+    case Layer::kHardLayer:
+      return ms_t_hard;
+  }
+  throw util::ConfigError("unknown layer");
+}
+
+mag::DiskSource StackGeometry::source_for(Layer layer,
+                                          const num::Vec3& cell_center,
+                                          MtjState state) const {
+  double thickness = 0.0;
+  switch (layer) {
+    case Layer::kFreeLayer:
+      thickness = t_free;
+      break;
+    case Layer::kReferenceLayer:
+      thickness = t_reference;
+      break;
+    case Layer::kHardLayer:
+      thickness = t_hard;
+      break;
+  }
+  mag::DiskSource disk;
+  disk.center = {cell_center.x, cell_center.y,
+                 cell_center.z + layer_center_z(layer)};
+  disk.radius = radius();
+  disk.thickness = thickness;
+  disk.ms_t = layer_ms_t(layer);
+  disk.polarity = layer_polarity(layer, state);
+  disk.sub_loops = sub_loops;
+  return disk;
+}
+
+void StackGeometry::validate() const {
+  if (ecd <= 0.0) throw util::ConfigError("eCD must be positive");
+  if (t_free <= 0.0 || t_barrier <= 0.0 || t_reference <= 0.0 ||
+      t_spacer <= 0.0 || t_hard <= 0.0) {
+    throw util::ConfigError("all layer thicknesses must be positive");
+  }
+  if (ms_t_free < 0.0 || ms_t_reference < 0.0 || ms_t_hard < 0.0) {
+    throw util::ConfigError("Ms*t products must be non-negative");
+  }
+  if (reference_polarity != 1 && reference_polarity != -1) {
+    throw util::ConfigError("reference polarity must be +1 or -1");
+  }
+  if (sub_loops < 1) throw util::ConfigError("sub_loops must be >= 1");
+}
+
+}  // namespace mram::dev

@@ -1,0 +1,51 @@
+#pragma once
+
+#include "device/stack_geometry.h"
+
+// Switching direction vocabulary shared by the device, array and memory
+// modules, plus the sign conventions of the paper's Eqs. 2 and 5.
+//
+// Axis convention (see stack_geometry.h): the RL points along +z, so the
+// P state has the FL along +z (d = +1) and the AP state along -z (d = -1).
+// A positive external field favors the P state; the intra-cell stray field
+// of the calibrated stack points along -z (Hz < 0), which destabilizes P --
+// reproducing the paper's Ic(P->AP) reduction and worst-case Delta_P.
+
+namespace mram::dev {
+
+enum class SwitchDirection { kApToP, kPToAp };
+
+/// State the device must be in before a switch in `dir`.
+constexpr MtjState initial_state(SwitchDirection dir) {
+  return dir == SwitchDirection::kApToP ? MtjState::kAntiParallel
+                                        : MtjState::kParallel;
+}
+
+/// State after a successful switch in `dir`.
+constexpr MtjState final_state(SwitchDirection dir) {
+  return dir == SwitchDirection::kApToP ? MtjState::kParallel
+                                        : MtjState::kAntiParallel;
+}
+
+/// FL moment direction d (+1 along +z) in `state`.
+constexpr int state_direction(MtjState state) {
+  return state == MtjState::kParallel ? +1 : -1;
+}
+
+/// Sign s in Eq. 2 / Eq. 5, written as (1 + s * Hz/Hk): s equals the moment
+/// direction of the state being left (Eq. 2) or occupied (Eq. 5).
+/// Paper mapping: '+' for Ic(P->AP) and Delta_P, '-' for Ic(AP->P) and
+/// Delta_AP.
+constexpr int stray_sign(MtjState state) { return state_direction(state); }
+constexpr int stray_sign(SwitchDirection dir) {
+  return state_direction(initial_state(dir));
+}
+
+constexpr const char* to_string(MtjState s) {
+  return s == MtjState::kParallel ? "P" : "AP";
+}
+constexpr const char* to_string(SwitchDirection d) {
+  return d == SwitchDirection::kApToP ? "AP->P" : "P->AP";
+}
+
+}  // namespace mram::dev

@@ -1,0 +1,35 @@
+#include "device/thermal.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace mram::dev {
+
+void ThermalModel::validate() const {
+  if (curie_temperature <= 0.0) {
+    throw util::ConfigError("Curie temperature must be positive");
+  }
+  if (reference_temperature <= 0.0 ||
+      reference_temperature >= curie_temperature) {
+    throw util::ConfigError(
+        "reference temperature must be positive and below Tc");
+  }
+}
+
+double ThermalModel::bloch(double t_kelvin) const {
+  MRAM_EXPECTS(t_kelvin > 0.0, "temperature must be positive");
+  MRAM_EXPECTS(t_kelvin < curie_temperature,
+               "temperature must be below the Curie temperature");
+  return 1.0 - std::pow(t_kelvin / curie_temperature, 1.5);
+}
+
+double ThermalModel::ms_scale(double t_kelvin) const {
+  return bloch(t_kelvin) / bloch(reference_temperature);
+}
+
+double ThermalModel::delta0_scale(double t_kelvin) const {
+  return ms_scale(t_kelvin) * reference_temperature / t_kelvin;
+}
+
+}  // namespace mram::dev

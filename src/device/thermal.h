@@ -1,0 +1,35 @@
+#pragma once
+
+// Temperature dependence of the magnetic parameters (used by Fig. 6).
+//
+// Model: Bloch T^(3/2) law for the saturation magnetization,
+//   Ms(T) = Ms(0) * (1 - (T/Tc)^1.5),
+// with the anisotropy field Hk held temperature-independent. Then
+//   Delta0(T) = Hk * Ms(T) * V / (2 kB T)
+//             = Delta0(Tref) * bloch(T)/bloch(Tref) * Tref/T,
+// and all stray fields scale with the bloch factor of the generating layers
+// (every layer shares the same Tc in this model -- a documented
+// simplification; the paper does not publish per-layer Curie temperatures).
+
+namespace mram::dev {
+
+struct ThermalModel {
+  double curie_temperature = 900.0;     ///< Tc [K]
+  double reference_temperature = 300.0; ///< Tref at which params are quoted [K]
+
+  /// Bloch factor 1 - (T/Tc)^1.5; positive only below Tc.
+  double bloch(double t_kelvin) const;
+
+  /// Ms(T) / Ms(Tref).
+  double ms_scale(double t_kelvin) const;
+
+  /// Delta0(T) / Delta0(Tref) with Hk(T) = const: ms_scale * Tref / T.
+  double delta0_scale(double t_kelvin) const;
+
+  /// Stray-field scale (fields are proportional to the source layers' Ms).
+  double stray_field_scale(double t_kelvin) const { return ms_scale(t_kelvin); }
+
+  void validate() const;
+};
+
+}  // namespace mram::dev

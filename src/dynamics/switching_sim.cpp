@@ -1,0 +1,78 @@
+#include "dynamics/switching_sim.h"
+
+#include <cmath>
+
+#include "util/constants.h"
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace mram::dyn {
+
+using dev::MtjState;
+using dev::SwitchDirection;
+using num::Vec3;
+
+LlgParams llg_from_device(const dev::MtjDevice& device, SwitchDirection dir,
+                          double vp, double hz_stray, double temperature) {
+  const auto& p = device.params();
+  LlgParams llg;
+  llg.hk = p.hk;
+  llg.alpha = p.damping;
+  llg.stt_efficiency = p.stt_efficiency;
+  llg.volume = p.stack.volume();
+  // Share the energy barrier with the analytic model: Ms*V = thermal moment.
+  llg.ms = device.thermal_moment(temperature) / llg.volume;
+  llg.temperature = temperature;
+  llg.h_applied = {0.0, 0.0,
+                   hz_stray * p.thermal.stray_field_scale(temperature)};
+  llg.spin_polarization = {0.0, 0.0, 1.0};
+  // Positive current drives the magnetization toward +z (the P state).
+  const double i =
+      device.electrical().current(initial_state(dir), vp);
+  llg.current = (dir == SwitchDirection::kApToP) ? i : -i;
+  llg.validate();
+  return llg;
+}
+
+SwitchingStats llg_switching_stats(const dev::MtjDevice& device,
+                                   SwitchDirection dir, double vp,
+                                   double hz_stray, std::size_t trials,
+                                   util::Rng& rng, double duration, double dt,
+                                   double temperature) {
+  MRAM_EXPECTS(trials > 0, "need at least one trial");
+  const auto llg = llg_from_device(device, dir, vp, hz_stray, temperature);
+  const MacrospinSim sim(llg);
+
+  // Thermal-equilibrium initial tilt: theta^2 ~ Exp(1/Delta).
+  const double delta =
+      device.delta(initial_state(dir), hz_stray, temperature);
+  const double mz0 = (initial_state(dir) == MtjState::kParallel) ? 1.0 : -1.0;
+
+  util::RunningStats times;
+  std::size_t switched = 0;
+  for (std::size_t k = 0; k < trials; ++k) {
+    const double u = std::max(rng.uniform(), 1e-300);
+    const double theta =
+        std::min(std::sqrt(-std::log(u) / std::max(delta, 1.0)), 0.5);
+    const double phi = rng.uniform(0.0, 2.0 * util::kPi);
+    const Vec3 m0 = num::normalized(
+        {std::sin(theta) * std::cos(phi), std::sin(theta) * std::sin(phi),
+         mz0 * std::cos(theta)});
+    const auto result = sim.run_until_switch(m0, duration, dt, rng);
+    if (result.switched) {
+      ++switched;
+      times.add(result.time);
+    }
+  }
+
+  SwitchingStats stats;
+  stats.trials = trials;
+  stats.switched = switched;
+  if (switched > 0) {
+    stats.mean_time = times.mean();
+    stats.stddev_time = times.stddev();
+  }
+  return stats;
+}
+
+}  // namespace mram::dyn

@@ -1,0 +1,37 @@
+#pragma once
+
+#include "device/mtj_device.h"
+#include "dynamics/llg.h"
+
+// Bridges the device model and the LLG solver: builds a MacrospinSim from
+// MtjParams so the same calibrated device can be simulated dynamically, and
+// provides Monte Carlo switching-time estimation used by
+// bench_ablation_llg_vs_sun.
+
+namespace mram::dyn {
+
+/// LLG parameters equivalent to the calibrated device, driven in `dir` at
+/// bias `vp` with stray field `hz_stray` [A/m]. The macrospin Ms*V equals
+/// the device's thermal moment, so both models share the same energy
+/// barrier.
+LlgParams llg_from_device(const dev::MtjDevice& device,
+                          dev::SwitchDirection dir, double vp,
+                          double hz_stray, double temperature = 300.0);
+
+struct SwitchingStats {
+  double mean_time = 0.0;    ///< [s] over switched trials
+  double stddev_time = 0.0;  ///< [s]
+  std::size_t switched = 0;
+  std::size_t trials = 0;
+};
+
+/// Monte Carlo switching-time statistics from repeated stochastic LLG runs
+/// starting near the initial state of `dir` (thermal initial tilt).
+SwitchingStats llg_switching_stats(const dev::MtjDevice& device,
+                                   dev::SwitchDirection dir, double vp,
+                                   double hz_stray, std::size_t trials,
+                                   util::Rng& rng, double duration = 60e-9,
+                                   double dt = 1e-12,
+                                   double temperature = 300.0);
+
+}  // namespace mram::dyn

@@ -1,0 +1,25 @@
+#include "magnetics/dipole.h"
+
+#include <cmath>
+
+#include "util/constants.h"
+#include "util/error.h"
+
+namespace mram::mag {
+
+using num::Vec3;
+
+Vec3 dipole_field(const Vec3& moment, const Vec3& r) {
+  const double r2 = num::norm2(r);
+  MRAM_EXPECTS(r2 > 0.0, "dipole field evaluated at the dipole location");
+  const double rlen = std::sqrt(r2);
+  const Vec3 rhat = r / rlen;
+  const double mr = dot(moment, rhat);
+  return (3.0 * mr * rhat - moment) / (4.0 * util::kPi * r2 * rlen);
+}
+
+Vec3 dipole_field_at(double mz, const Vec3& pos, const Vec3& p) {
+  return dipole_field({0.0, 0.0, mz}, p - pos);
+}
+
+}  // namespace mram::mag

@@ -1,0 +1,69 @@
+#include "magnetics/field_map.h"
+
+#include <cmath>
+
+#include "numerics/interp.h"
+#include "util/constants.h"
+#include "util/error.h"
+
+namespace mram::mag {
+
+using num::Vec3;
+
+std::vector<FieldSample> sample_line_x(const StrayFieldSolver& solver,
+                                       double z, double extent,
+                                       std::size_t count) {
+  MRAM_EXPECTS(extent > 0.0, "extent must be positive");
+  MRAM_EXPECTS(count >= 2, "need at least two sample points");
+  std::vector<FieldSample> out;
+  out.reserve(count);
+  for (double x : num::linspace(-extent, extent, count)) {
+    const Vec3 p{x, 0.0, z};
+    out.push_back({p, solver.field_at(p)});
+  }
+  return out;
+}
+
+std::vector<FieldSample> sample_grid(const StrayFieldSolver& solver,
+                                     const Vec3& lo, const Vec3& hi,
+                                     std::size_t count_per_axis) {
+  MRAM_EXPECTS(count_per_axis >= 2, "need at least two points per axis");
+  const auto xs = num::linspace(lo.x, hi.x, count_per_axis);
+  const auto ys = num::linspace(lo.y, hi.y, count_per_axis);
+  const auto zs = num::linspace(lo.z, hi.z, count_per_axis);
+  std::vector<FieldSample> out;
+  out.reserve(count_per_axis * count_per_axis * count_per_axis);
+  for (double z : zs) {
+    for (double y : ys) {
+      for (double x : xs) {
+        const Vec3 p{x, y, z};
+        out.push_back({p, solver.field_at(p)});
+      }
+    }
+  }
+  return out;
+}
+
+double average_hz_over_disk(const StrayFieldSolver& solver, double r, double z,
+                            std::size_t radial_points,
+                            std::size_t angular_points) {
+  MRAM_EXPECTS(r > 0.0, "disk radius must be positive");
+  MRAM_EXPECTS(radial_points >= 1 && angular_points >= 1,
+               "quadrature needs at least one point per dimension");
+  // Midpoint rule in rho^2 (equal-area annuli) and phi.
+  double sum = 0.0;
+  for (std::size_t i = 0; i < radial_points; ++i) {
+    const double frac =
+        (static_cast<double>(i) + 0.5) / static_cast<double>(radial_points);
+    const double rho = r * std::sqrt(frac);
+    for (std::size_t j = 0; j < angular_points; ++j) {
+      const double phi = 2.0 * util::kPi * (static_cast<double>(j) + 0.5) /
+                         static_cast<double>(angular_points);
+      const Vec3 p{rho * std::cos(phi), rho * std::sin(phi), z};
+      sum += solver.field_at(p).z;
+    }
+  }
+  return sum / static_cast<double>(radial_points * angular_points);
+}
+
+}  // namespace mram::mag

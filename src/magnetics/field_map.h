@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "magnetics/stray_field.h"
+#include "numerics/vec3.h"
+
+// Sampling utilities that turn a StrayFieldSolver into the spatial data the
+// paper plots: the radial Hz profile across the free layer (Fig. 3d) and a
+// 3-D vector-field map (Fig. 3c).
+
+namespace mram::mag {
+
+struct FieldSample {
+  num::Vec3 position;  ///< [m]
+  num::Vec3 field;     ///< [A/m]
+};
+
+/// Samples the field along the x axis at height `z`, from -extent to +extent
+/// (inclusive) in `count` points. Used for the Fig. 3d FL cross-section.
+std::vector<FieldSample> sample_line_x(const StrayFieldSolver& solver,
+                                       double z, double extent,
+                                       std::size_t count);
+
+/// Samples the field on a regular 3-D grid spanning [lo, hi] per axis with
+/// `count` points per axis (Fig. 3c style map). Points closer than
+/// `min_distance` to any source wire should be excluded by the caller's
+/// choice of grid; the solver itself only rejects exact wire hits.
+std::vector<FieldSample> sample_grid(const StrayFieldSolver& solver,
+                                     const num::Vec3& lo, const num::Vec3& hi,
+                                     std::size_t count_per_axis);
+
+/// Average z-field over a disk of radius `r` at height `z` (area-weighted,
+/// polar quadrature). Used to compare center-point vs. area-averaged
+/// calibration choices.
+double average_hz_over_disk(const StrayFieldSolver& solver, double r, double z,
+                            std::size_t radial_points = 16,
+                            std::size_t angular_points = 32);
+
+}  // namespace mram::mag

@@ -1,0 +1,72 @@
+#include "mram/cell_1t1r.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace mram::mem {
+
+using dev::MtjState;
+using dev::SwitchDirection;
+
+void AccessTransistor::validate() const {
+  if (r_on <= 0.0 || r_read <= 0.0) {
+    throw util::ConfigError("transistor resistances must be positive");
+  }
+}
+
+Cell1T1R::Cell1T1R(const dev::MtjParams& device,
+                   const AccessTransistor& transistor)
+    : device_(device), transistor_(transistor) {
+  transistor_.validate();
+}
+
+double Cell1T1R::mtj_voltage(MtjState state, double vdd) const {
+  MRAM_EXPECTS(vdd > 0.0, "driver voltage must be positive");
+  const auto& em = device_.electrical();
+  // Fixed point: V <- Vdd * R(V) / (R(V) + R_on). R is continuous and
+  // bounded, and the map is a contraction for R_on > 0; a handful of
+  // iterations reaches double precision.
+  double v = vdd * em.resistance(state, vdd) /
+             (em.resistance(state, vdd) + transistor_.r_on);
+  for (int iter = 0; iter < 100; ++iter) {
+    const double r = em.resistance(state, v);
+    const double v_next = vdd * r / (r + transistor_.r_on);
+    if (std::abs(v_next - v) < 1e-15 * vdd) {
+      v = v_next;
+      break;
+    }
+    v = v_next;
+  }
+  MRAM_ENSURES(v > 0.0 && v < vdd, "divider voltage out of range");
+  return v;
+}
+
+double Cell1T1R::cell_current(MtjState state, double vdd) const {
+  const double v = mtj_voltage(state, vdd);
+  return device_.electrical().current(state, v);
+}
+
+double Cell1T1R::write_time(SwitchDirection dir, double vdd, double hz_stray,
+                            double t) const {
+  const double v_mtj = mtj_voltage(initial_state(dir), vdd);
+  return device_.switching_time(dir, v_mtj, hz_stray, t);
+}
+
+double Cell1T1R::sense_margin(MtjState state, double v_read) const {
+  MRAM_EXPECTS(v_read > 0.0, "read voltage must be positive");
+  // Use the read-path transistor resistance for the divider.
+  AccessTransistor read_path = transistor_;
+  read_path.r_on = transistor_.r_read;
+  const Cell1T1R read_cell(device_.params(), read_path);
+
+  const double i_p = read_cell.cell_current(MtjState::kParallel, v_read);
+  const double i_ap = read_cell.cell_current(MtjState::kAntiParallel, v_read);
+  const double i_ref = 0.5 * (i_p + i_ap);
+  const double i_cell = read_cell.cell_current(state, v_read);
+  // P carries more current than the reference; AP less. Sign the margin so
+  // a positive value means "correctly distinguishable".
+  return (state == MtjState::kParallel) ? i_cell - i_ref : i_ref - i_cell;
+}
+
+}  // namespace mram::mem

@@ -1,0 +1,61 @@
+#pragma once
+
+#include "device/mtj_device.h"
+
+// 1T-1R cell electrical model. The paper's wafer is 0T1R (direct probing),
+// but the arrays it draws conclusions for are 1T-1R (it cites Augustine et
+// al. [12] for 1T-1R stacks and the SK hynix/Samsung/Intel macros). The
+// access transistor forms a voltage divider with the MTJ:
+//
+//   V_mtj = Vdd * R_mtj(V_mtj) / (R_mtj(V_mtj) + R_on)
+//
+// solved by fixed-point iteration because the AP resistance is bias
+// dependent. Consequences modeled here:
+//  * the MTJ sees less than the driver voltage, state-dependently (the AP
+//    state takes a larger share), adding to the paper's AP->P / P->AP
+//    write asymmetry;
+//  * the read path compares the cell current against a mid-point reference
+//    and the sense margin shrinks with TMR and with R_on.
+
+namespace mram::mem {
+
+struct AccessTransistor {
+  double r_on = 2.0e3;   ///< on-resistance in the write path [Ohm]
+  double r_read = 2.5e3; ///< on-resistance at read bias [Ohm]
+
+  void validate() const;
+};
+
+class Cell1T1R {
+ public:
+  Cell1T1R(const dev::MtjParams& device, const AccessTransistor& transistor);
+
+  const dev::MtjDevice& device() const { return device_; }
+  const AccessTransistor& transistor() const { return transistor_; }
+
+  /// Voltage actually across the MTJ (in `state`) when the write driver
+  /// applies `vdd` across the cell [V]. Fixed-point solution of the
+  /// divider with the bias-dependent resistance.
+  double mtj_voltage(dev::MtjState state, double vdd) const;
+
+  /// Cell current at driver voltage `vdd` in `state` [A].
+  double cell_current(dev::MtjState state, double vdd) const;
+
+  /// Average switching time for a write in `dir` when the driver applies
+  /// `vdd`, under stray field `hz_stray` [A/m]. The divider is evaluated at
+  /// the initial state.
+  double write_time(dev::SwitchDirection dir, double vdd, double hz_stray,
+                    double t = 300.0) const;
+
+  /// Sense margin of a current-mode read at `v_read` driver volts: the
+  /// difference between the cell current and a midpoint reference
+  /// (average of the P and AP cell currents), signed positive for a
+  /// correctly sensed bit. [A]
+  double sense_margin(dev::MtjState state, double v_read) const;
+
+ private:
+  dev::MtjDevice device_;
+  AccessTransistor transistor_;
+};
+
+}  // namespace mram::mem

@@ -1,0 +1,120 @@
+#include "mram/march.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace mram::mem {
+
+namespace {
+
+int op_bit(MarchOp op) {
+  switch (op) {
+    case MarchOp::kR0:
+    case MarchOp::kW0:
+      return 0;
+    case MarchOp::kR1:
+    case MarchOp::kW1:
+      return 1;
+  }
+  throw util::ConfigError("unknown march op");
+}
+
+bool is_read(MarchOp op) {
+  return op == MarchOp::kR0 || op == MarchOp::kR1;
+}
+
+}  // namespace
+
+std::string to_string(MarchOp op) {
+  switch (op) {
+    case MarchOp::kR0:
+      return "r0";
+    case MarchOp::kR1:
+      return "r1";
+    case MarchOp::kW0:
+      return "w0";
+    case MarchOp::kW1:
+      return "w1";
+  }
+  return "?";
+}
+
+const char* to_string(FaultClass cls) {
+  switch (cls) {
+    case FaultClass::kWriteFault:
+      return "write";
+    case FaultClass::kRetentionFault:
+      return "retention";
+  }
+  return "?";
+}
+
+std::size_t MarchResult::count(FaultClass cls) const {
+  return static_cast<std::size_t>(
+      std::count_if(faults.begin(), faults.end(),
+                    [cls](const MarchFault& f) { return f.cls == cls; }));
+}
+
+std::vector<MarchElement> march_c_minus() {
+  using Op = MarchOp;
+  using Ord = MarchOrder;
+  return {
+      {Ord::kAscending, {Op::kW0}},
+      {Ord::kAscending, {Op::kR0, Op::kW1}},
+      {Ord::kAscending, {Op::kR1, Op::kW0}},
+      {Ord::kDescending, {Op::kR0, Op::kW1}},
+      {Ord::kDescending, {Op::kR1, Op::kW0}},
+      {Ord::kDescending, {Op::kR0}},
+  };
+}
+
+MarchResult run_march(MramArray& array,
+                      const std::vector<MarchElement>& elements,
+                      const WritePulse& pulse, util::Rng& rng,
+                      double hold_between_elements) {
+  MRAM_EXPECTS(hold_between_elements >= 0.0,
+               "hold time must be non-negative");
+  MarchResult result;
+  const std::size_t n = array.rows() * array.cols();
+
+  // Per-cell flag: did the most recent write to this cell fail? Used to
+  // classify read faults as write vs. retention faults.
+  std::vector<char> last_write_failed(n, 0);
+
+  for (std::size_t e = 0; e < elements.size(); ++e) {
+    const auto& element = elements[e];
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t idx =
+          (element.order == MarchOrder::kAscending) ? k : n - 1 - k;
+      const std::size_t r = idx / array.cols();
+      const std::size_t c = idx % array.cols();
+      for (std::size_t o = 0; o < element.ops.size(); ++o) {
+        const MarchOp op = element.ops[o];
+        if (is_read(op)) {
+          ++result.reads;
+          const int observed = array.read(r, c);
+          const int expected = op_bit(op);
+          if (observed != expected) {
+            const FaultClass cls = last_write_failed[idx]
+                                       ? FaultClass::kWriteFault
+                                       : FaultClass::kRetentionFault;
+            result.faults.push_back({e, o, r, c, expected, observed, cls});
+          }
+        } else {
+          ++result.writes;
+          const auto wr = array.write(r, c, op_bit(op), pulse, rng);
+          const bool failed = wr.attempted && !wr.success;
+          result.failed_writes += failed;
+          last_write_failed[idx] = failed ? 1 : 0;
+        }
+      }
+    }
+    if (hold_between_elements > 0.0) {
+      array.retention_hold(hold_between_elements, rng);
+    }
+  }
+  return result;
+}
+
+}  // namespace mram::mem

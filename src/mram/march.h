@@ -1,0 +1,71 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mram/mram_array.h"
+
+// March-style memory test built on the stochastic array model. Write faults
+// caused by inter-cell coupling are data-pattern dependent (worst case: the
+// neighborhood all-P while writing AP->P with a marginal pulse), which is
+// exactly the class of faults march tests with solid/checkerboard
+// backgrounds are designed to surface.
+//
+// Element notation (van de Goor): March C- is
+//   up(w0); up(r0, w1); up(r1, w0); down(r0, w1); down(r1, w0); down(r0).
+
+namespace mram::mem {
+
+enum class MarchOp { kR0, kR1, kW0, kW1 };
+enum class MarchOrder { kAscending, kDescending };
+
+struct MarchElement {
+  MarchOrder order = MarchOrder::kAscending;
+  std::vector<MarchOp> ops;
+};
+
+/// Classification of a detected fault by its activation mechanism.
+enum class FaultClass {
+  kWriteFault,      ///< the most recent write to the cell failed to flip it
+  kRetentionFault,  ///< the cell changed value spontaneously after a
+                    ///< successful write (thermal flip / disturb)
+};
+
+/// A detected mismatch: a read returned the complement of the expectation.
+struct MarchFault {
+  std::size_t element;  ///< index of the march element
+  std::size_t op;       ///< index of the operation within the element
+  std::size_t row;
+  std::size_t col;
+  int expected;
+  int observed;
+  FaultClass cls;
+};
+
+struct MarchResult {
+  std::vector<MarchFault> faults;
+  std::size_t reads = 0;
+  std::size_t writes = 0;
+  std::size_t failed_writes = 0;  ///< writes whose cell did not flip
+
+  std::size_t count(FaultClass cls) const;
+};
+
+/// The March C- algorithm.
+std::vector<MarchElement> march_c_minus();
+
+/// Runs `elements` on `array` with the given write pulse. Reads compare the
+/// stored bit against the march expectation; failed writes leave the old
+/// value in place (realistic fault activation, later detected and classified
+/// by the reads). When `hold_between_elements` > 0, the array relaxes
+/// thermally for that many seconds between elements, sensitizing retention
+/// faults in addition to write faults.
+MarchResult run_march(MramArray& array,
+                      const std::vector<MarchElement>& elements,
+                      const WritePulse& pulse, util::Rng& rng,
+                      double hold_between_elements = 0.0);
+
+std::string to_string(MarchOp op);
+const char* to_string(FaultClass cls);
+
+}  // namespace mram::mem

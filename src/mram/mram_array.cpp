@@ -1,0 +1,115 @@
+#include "mram/mram_array.h"
+
+#include "util/error.h"
+
+namespace mram::mem {
+
+using dev::MtjState;
+using dev::SwitchDirection;
+
+void WritePulse::validate() const {
+  if (voltage <= 0.0) throw util::ConfigError("write voltage must be positive");
+  if (width <= 0.0) throw util::ConfigError("pulse width must be positive");
+}
+
+void ArrayConfig::validate() const {
+  device.validate();
+  if (pitch < device.stack.ecd) {
+    throw util::ConfigError("pitch must be at least the device diameter");
+  }
+  if (rows == 0 || cols == 0) {
+    throw util::ConfigError("array dimensions must be positive");
+  }
+  if (coupling_radius < 1) {
+    throw util::ConfigError("coupling radius must be >= 1");
+  }
+  if (temperature <= 0.0) {
+    throw util::ConfigError("temperature must be positive");
+  }
+}
+
+namespace {
+const ArrayConfig& validated(const ArrayConfig& config) {
+  config.validate();  // before any member construction, for clean errors
+  return config;
+}
+}  // namespace
+
+MramArray::MramArray(const ArrayConfig& config)
+    : config_(validated(config)),
+      device_(config.device),
+      field_model_(config.device.stack, config.pitch, config.coupling_radius),
+      grid_(config.rows, config.cols, 0) {}
+
+void MramArray::load(const arr::DataGrid& grid) {
+  MRAM_EXPECTS(grid.rows() == grid_.rows() && grid.cols() == grid_.cols(),
+               "grid dimensions must match the array");
+  grid_ = grid;
+}
+
+double MramArray::stray_field_at(std::size_t r, std::size_t c) const {
+  return device_.intra_stray_field() + field_model_.field_at(grid_, r, c);
+}
+
+WriteResult MramArray::write(std::size_t r, std::size_t c, int bit,
+                             const WritePulse& pulse, util::Rng& rng) {
+  MRAM_EXPECTS(bit == 0 || bit == 1, "bit must be 0 or 1");
+  pulse.validate();
+
+  WriteResult result;
+  result.hz_stray = stray_field_at(r, c);
+  if (grid_.at(r, c) == bit) {
+    // Write driver still fires, but the cell already holds the value; the
+    // "write" trivially succeeds (write-verify-write schemes skip these).
+    return result;
+  }
+  result.attempted = true;
+  const SwitchDirection dir =
+      (bit == 0) ? SwitchDirection::kApToP : SwitchDirection::kPToAp;
+  result.success_probability = device_.write_success_probability(
+      dir, pulse.voltage, pulse.width, result.hz_stray, config_.temperature);
+  result.success = rng.bernoulli(result.success_probability);
+  if (result.success) grid_.set(r, c, bit);
+  return result;
+}
+
+int MramArray::read(std::size_t r, std::size_t c) const {
+  return grid_.at(r, c);
+}
+
+std::size_t MramArray::retention_hold(double duration, util::Rng& rng) {
+  MRAM_EXPECTS(duration >= 0.0, "duration must be non-negative");
+  // Evaluate all fields against the entry data, then apply flips.
+  std::vector<std::pair<std::size_t, std::size_t>> flips;
+  const double scale =
+      device_.params().thermal.stray_field_scale(config_.temperature);
+  for (std::size_t r = 0; r < grid_.rows(); ++r) {
+    for (std::size_t c = 0; c < grid_.cols(); ++c) {
+      const auto state = dev::bit_to_state(grid_.at(r, c));
+      const double hz_total = stray_field_at(r, c) * scale;
+      const double p = device_.flip_probability(state, hz_total, duration,
+                                                config_.temperature);
+      if (rng.bernoulli(p)) flips.emplace_back(r, c);
+    }
+  }
+  for (const auto& [r, c] : flips) {
+    grid_.set(r, c, 1 - grid_.at(r, c));
+  }
+  return flips.size();
+}
+
+double MramArray::cell_delta(std::size_t r, std::size_t c) const {
+  const auto state = dev::bit_to_state(grid_.at(r, c));
+  return device_.delta(state, stray_field_at(r, c), config_.temperature);
+}
+
+double MramArray::cell_switching_time(std::size_t r, std::size_t c, int bit,
+                                      double voltage) const {
+  MRAM_EXPECTS(bit == 0 || bit == 1, "bit must be 0 or 1");
+  const SwitchDirection dir =
+      (bit == 0) ? SwitchDirection::kApToP : SwitchDirection::kPToAp;
+  return device_.switching_time(dir, voltage, stray_field_at(r, c),
+                                config_.temperature);
+}
+
+}  // namespace mram::mem

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <optional>
+
+#include "array/array_field.h"
+#include "device/mtj_device.h"
+#include "util/rng.h"
+
+// Memory-level model: an N x M array of identical calibrated MTJ cells with
+// a shared write driver. Every write and retention event sees the stray
+// field of the *current* data in the neighborhood (intra-cell + inter-cell),
+// so data-pattern-dependent write failures and retention faults emerge
+// naturally from the device physics.
+
+namespace mram::mem {
+
+struct WritePulse {
+  double voltage = 1.0;  ///< |Vp| across the MTJ [V]
+  double width = 20e-9;  ///< pulse width [s]
+
+  void validate() const;
+};
+
+struct ArrayConfig {
+  dev::MtjParams device;       ///< common cell device (calibrated defaults)
+  double pitch = 70e-9;        ///< cell pitch [m]
+  std::size_t rows = 8;
+  std::size_t cols = 8;
+  int coupling_radius = 1;     ///< neighborhood truncation (1 = 3x3)
+  double temperature = 300.0;  ///< [K]
+
+  void validate() const;
+};
+
+/// Result of a single write access.
+struct WriteResult {
+  bool success = true;        ///< final state equals the requested bit
+  bool attempted = false;     ///< false when the cell already held the bit
+  double hz_stray = 0.0;      ///< total stray field seen by the cell [A/m]
+  double success_probability = 1.0;
+};
+
+class MramArray {
+ public:
+  explicit MramArray(const ArrayConfig& config);
+
+  const ArrayConfig& config() const { return config_; }
+  const arr::DataGrid& data() const { return grid_; }
+  const dev::MtjDevice& device() const { return device_; }
+
+  std::size_t rows() const { return grid_.rows(); }
+  std::size_t cols() const { return grid_.cols(); }
+
+  /// Replaces the stored data wholesale (test-pattern setup).
+  void load(const arr::DataGrid& grid);
+
+  /// Total out-of-plane stray field at cell (r, c) [A/m] for the current
+  /// data: intra-cell + inter-cell.
+  double stray_field_at(std::size_t r, std::size_t c) const;
+
+  /// Stochastic write of `bit` into (r, c). On success the grid is updated;
+  /// on failure the cell keeps its previous value.
+  WriteResult write(std::size_t r, std::size_t c, int bit,
+                    const WritePulse& pulse, util::Rng& rng);
+
+  /// Deterministic read of the stored bit (read disturb is not modeled at
+  /// the 20 mV read bias).
+  int read(std::size_t r, std::size_t c) const;
+
+  /// Lets every cell relax thermally for `duration` seconds; cells flip with
+  /// their Neel--Brown probability under their local stray field. Returns
+  /// the number of retention flips. Fields are evaluated against the data at
+  /// entry (flips within one hold are rare enough to ignore their coupling).
+  std::size_t retention_hold(double duration, util::Rng& rng);
+
+  /// Thermal stability factor of cell (r, c) in its current state.
+  double cell_delta(std::size_t r, std::size_t c) const;
+
+  /// Average switching time for writing `bit` into (r, c) now [s].
+  double cell_switching_time(std::size_t r, std::size_t c, int bit,
+                             double voltage) const;
+
+ private:
+  ArrayConfig config_;
+  dev::MtjDevice device_;
+  arr::ArrayFieldModel field_model_;
+  arr::DataGrid grid_;
+};
+
+}  // namespace mram::mem

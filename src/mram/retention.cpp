@@ -1,0 +1,86 @@
+#include "mram/retention.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace mram::mem {
+
+RetentionReport analyze_retention(const MramArray& array, double horizon) {
+  MRAM_EXPECTS(horizon > 0.0, "horizon must be positive");
+
+  RetentionReport report;
+  report.min_delta = std::numeric_limits<double>::infinity();
+
+  double log_survival = 0.0;
+  const double tau0 = array.device().params().attempt_time;
+  const double t = array.config().temperature;
+  const double scale =
+      array.device().params().thermal.stray_field_scale(t);
+
+  for (std::size_t r = 0; r < array.rows(); ++r) {
+    for (std::size_t c = 0; c < array.cols(); ++c) {
+      const double delta = array.cell_delta(r, c);
+      if (delta < report.min_delta) {
+        report.min_delta = delta;
+        report.worst_row = r;
+        report.worst_col = c;
+      }
+      // Accumulate log-survival over all cells for the array failure
+      // probability.
+      const auto state = dev::bit_to_state(array.read(r, c));
+      const double hz_total = array.stray_field_at(r, c) * scale;
+      const double p_flip =
+          array.device().flip_probability(state, hz_total, horizon, t);
+      log_survival += std::log1p(-std::min(p_flip, 1.0 - 1e-15));
+    }
+  }
+  report.min_retention_time = tau0 * std::exp(report.min_delta);
+  report.array_fail_probability = -std::expm1(log_survival);
+  return report;
+}
+
+double max_scrub_interval(const MramArray& array,
+                          double max_fail_probability) {
+  MRAM_EXPECTS(max_fail_probability > 0.0 && max_fail_probability < 1.0,
+               "failure probability target must be in (0, 1)");
+  constexpr double kTenYears = 10.0 * 365.25 * 24.0 * 3600.0;
+  if (analyze_retention(array, kTenYears).array_fail_probability <=
+      max_fail_probability) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // The failure probability is monotone in the interval; bisect on log time
+  // between 1 ns and 10 years.
+  double lo = std::log(1e-9);
+  double hi = std::log(kTenYears);
+  for (int iter = 0; iter < 80; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double p =
+        analyze_retention(array, std::exp(mid)).array_fail_probability;
+    if (p > max_fail_probability) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return std::exp(lo);
+}
+
+WorstPattern worst_retention_pattern(const ArrayConfig& config,
+                                     util::Rng& rng, double horizon) {
+  WorstPattern worst;
+  worst.min_delta = std::numeric_limits<double>::infinity();
+  MramArray array(config);
+  for (auto kind : arr::deterministic_patterns()) {
+    array.load(arr::make_pattern(kind, config.rows, config.cols, rng));
+    const auto report = analyze_retention(array, horizon);
+    if (report.min_delta < worst.min_delta) {
+      worst.min_delta = report.min_delta;
+      worst.pattern = kind;
+    }
+  }
+  return worst;
+}
+
+}  // namespace mram::mem

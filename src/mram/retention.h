@@ -1,0 +1,42 @@
+#pragma once
+
+#include "array/data_pattern.h"
+#include "mram/mram_array.h"
+
+// Retention analysis at the array level (Fig. 6's device-level conclusion
+// lifted to memories): which cell/state/pattern combination has the lowest
+// thermal stability, and what failure probability does that imply over a
+// storage horizon.
+
+namespace mram::mem {
+
+struct RetentionReport {
+  double min_delta = 0.0;          ///< worst-case Delta over all cells
+  std::size_t worst_row = 0;
+  std::size_t worst_col = 0;
+  double min_retention_time = 0.0; ///< tau0 * exp(min_delta) [s]
+  double array_fail_probability = 0.0;  ///< P(any cell flips within horizon)
+};
+
+/// Scans every cell of `array` under its current data and reports the
+/// worst-case retention metrics over `horizon` seconds.
+RetentionReport analyze_retention(const MramArray& array, double horizon);
+
+/// Worst-case Delta across the deterministic background patterns; the
+/// returned pattern kind attains it. (The paper's worst case: victim P with
+/// NP8 = 0, i.e. the all-zero background.)
+struct WorstPattern {
+  arr::PatternKind pattern = arr::PatternKind::kAllZero;
+  double min_delta = 0.0;
+};
+WorstPattern worst_retention_pattern(const ArrayConfig& config,
+                                     util::Rng& rng, double horizon = 1.0);
+
+/// Longest scrub (refresh) interval such that the probability of any cell of
+/// `array` flipping between scrubs stays below `max_fail_probability`, based
+/// on the current data's worst-case cell. Returns +infinity when even a
+/// 10-year interval meets the target. Preconditions: probability in (0, 1).
+double max_scrub_interval(const MramArray& array,
+                          double max_fail_probability);
+
+}  // namespace mram::mem

@@ -1,0 +1,55 @@
+#include "mram/wer.h"
+
+#include "util/error.h"
+
+namespace mram::mem {
+
+using dev::SwitchDirection;
+
+WerResult measure_wer(const WerConfig& config, util::Rng& rng) {
+  MRAM_EXPECTS(config.trials > 0, "need at least one trial");
+  config.array.validate();
+  config.pulse.validate();
+
+  MramArray array(config.array);
+  const std::size_t vr = array.rows() / 2;
+  const std::size_t vc = array.cols() / 2;
+  const int target_bit = dev::state_to_bit(final_state(config.direction));
+  const int initial_bit = dev::state_to_bit(initial_state(config.direction));
+
+  // Build the background once; the victim starts in the initial state.
+  auto background = arr::make_pattern(config.background, array.rows(),
+                                      array.cols(), rng);
+  background.set(vr, vc, initial_bit);
+
+  WerResult result;
+  result.trials = config.trials;
+  util::RunningStats psucc;
+  for (std::size_t k = 0; k < config.trials; ++k) {
+    array.load(background);
+    const auto wr = array.write(vr, vc, target_bit, config.pulse, rng);
+    MRAM_ENSURES(wr.attempted, "victim must start in the initial state");
+    psucc.add(wr.success_probability);
+    if (!wr.success) ++result.errors;
+  }
+  result.wer =
+      static_cast<double>(result.errors) / static_cast<double>(result.trials);
+  result.confidence = util::wilson_interval(result.errors, result.trials);
+  result.mean_success_probability = psucc.mean();
+  return result;
+}
+
+std::vector<WerPoint> wer_vs_pulse_width(const WerConfig& config,
+                                         const std::vector<double>& widths,
+                                         util::Rng& rng) {
+  std::vector<WerPoint> out;
+  out.reserve(widths.size());
+  for (double w : widths) {
+    WerConfig c = config;
+    c.pulse.width = w;
+    out.push_back({w, measure_wer(c, rng)});
+  }
+  return out;
+}
+
+}  // namespace mram::mem

@@ -1,0 +1,44 @@
+#pragma once
+
+#include "array/data_pattern.h"
+#include "mram/mram_array.h"
+#include "util/stats.h"
+
+// Write-error-rate (WER) analysis: the memory-level consequence of the
+// paper's Fig. 5 observation that aggressive pitches need a larger write
+// margin. The victim is the center cell; the background pattern sets the
+// neighborhood (NP8 = 0 corresponds to kAllZero, the worst case for AP->P).
+
+namespace mram::mem {
+
+struct WerConfig {
+  ArrayConfig array;
+  arr::PatternKind background = arr::PatternKind::kAllZero;
+  WritePulse pulse;
+  dev::SwitchDirection direction = dev::SwitchDirection::kApToP;
+  std::size_t trials = 1000;
+};
+
+struct WerResult {
+  std::size_t errors = 0;
+  std::size_t trials = 0;
+  double wer = 0.0;
+  util::Interval confidence;  ///< 95% Wilson interval
+  double mean_success_probability = 0.0;
+};
+
+/// Repeatedly initializes the array to `background` with the victim in the
+/// direction's initial state, fires one write pulse at the victim, and
+/// counts failures.
+WerResult measure_wer(const WerConfig& config, util::Rng& rng);
+
+/// WER vs. pulse width sweep (shared config, widths in seconds).
+struct WerPoint {
+  double width;
+  WerResult result;
+};
+std::vector<WerPoint> wer_vs_pulse_width(const WerConfig& config,
+                                         const std::vector<double>& widths,
+                                         util::Rng& rng);
+
+}  // namespace mram::mem

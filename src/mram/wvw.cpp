@@ -1,0 +1,95 @@
+#include "mram/wvw.h"
+
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace mram::mem {
+
+void WvwConfig::validate() const {
+  pulse.validate();
+  if (max_attempts == 0) {
+    throw util::ConfigError("WVW needs at least one attempt");
+  }
+}
+
+WvwResult write_verify_write(MramArray& array, std::size_t r, std::size_t c,
+                             int bit, const WvwConfig& config,
+                             util::Rng& rng) {
+  config.validate();
+
+  WvwResult result;
+  if (array.read(r, c) == bit) {
+    // Verify-first: WVW skips the pulse entirely when the data already
+    // matches (this is where the scheme saves energy on real workloads).
+    result.success = true;
+    result.latency = kVerifyReadTime;
+    return result;
+  }
+
+  const dev::MtjState drive_state = dev::bit_to_state(1 - bit);
+  for (std::size_t attempt = 0; attempt < config.max_attempts; ++attempt) {
+    const auto wr = array.write(r, c, bit, config.pulse, rng);
+    ++result.attempts;
+    // Energy of this pulse through the initial-state resistance. After a
+    // successful switch mid-pulse the resistance changes; charging the full
+    // pulse at the drive state's resistance is the pessimistic bound.
+    const double resistance = array.device().electrical().resistance(
+        drive_state, config.pulse.voltage);
+    result.energy +=
+        config.pulse.voltage * config.pulse.voltage / resistance *
+        config.pulse.width;
+    result.latency += config.pulse.width + kVerifyReadTime;
+    if (wr.success) {
+      result.success = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+SchemeComparison compare_write_schemes(const ArrayConfig& array_config,
+                                       const WvwConfig& config,
+                                       std::size_t trials, util::Rng& rng) {
+  MRAM_EXPECTS(trials > 0, "need at least one trial");
+  config.validate();
+
+  MramArray array(array_config);
+  const std::size_t vr = array.rows() / 2;
+  const std::size_t vc = array.cols() / 2;
+
+  // Worst case background: all P, victim AP, target P (AP->P with NP8 = 0).
+  arr::DataGrid background(array.rows(), array.cols(), 0);
+  background.set(vr, vc, 1);
+
+  SchemeComparison cmp;
+  std::size_t single_errors = 0;
+  std::size_t wvw_errors = 0;
+  util::RunningStats attempts, latency, energy;
+
+  const double single_resistance = array.device().electrical().resistance(
+      dev::MtjState::kAntiParallel, config.pulse.voltage);
+  cmp.single_energy = config.pulse.voltage * config.pulse.voltage /
+                      single_resistance * config.pulse.width;
+
+  for (std::size_t k = 0; k < trials; ++k) {
+    array.load(background);
+    if (!array.write(vr, vc, 0, config.pulse, rng).success) ++single_errors;
+
+    array.load(background);
+    const auto wvw = write_verify_write(array, vr, vc, 0, config, rng);
+    if (!wvw.success) ++wvw_errors;
+    attempts.add(static_cast<double>(wvw.attempts));
+    latency.add(wvw.latency);
+    energy.add(wvw.energy);
+  }
+
+  const double n = static_cast<double>(trials);
+  cmp.single_pulse_wer = static_cast<double>(single_errors) / n;
+  cmp.wvw_wer = static_cast<double>(wvw_errors) / n;
+  cmp.wvw_mean_attempts = attempts.mean();
+  cmp.wvw_mean_latency = latency.mean();
+  cmp.wvw_mean_energy = energy.mean();
+  return cmp;
+}
+
+}  // namespace mram::mem

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <functional>
+
+#include "numerics/vec3.h"
+
+// ODE steppers for the macrospin LLG solver (src/dynamics). The state is a
+// single Vec3 (the reduced magnetization m), so the steppers are specialized
+// to Vec3 instead of being generic -- this keeps the hot path allocation-free.
+
+namespace mram::num {
+
+/// Right-hand side of dm/dt = f(t, m).
+using Vec3Rhs = std::function<Vec3(double t, const Vec3& m)>;
+
+/// One classical Runge--Kutta 4 step of size dt.
+Vec3 rk4_step(const Vec3Rhs& f, double t, const Vec3& m, double dt);
+
+/// One Heun (explicit trapezoidal) step of size dt. Used for the stochastic
+/// LLG where Heun converges to the Stratonovich solution.
+Vec3 heun_step(const Vec3Rhs& f, double t, const Vec3& m, double dt);
+
+/// Integrates from t0 to t1 with fixed RK4 steps, invoking `observer`
+/// (if provided) after every step. Returns the final state.
+Vec3 integrate_rk4(const Vec3Rhs& f, const Vec3& m0, double t0, double t1,
+                   double dt,
+                   const std::function<void(double, const Vec3&)>& observer = {});
+
+}  // namespace mram::num

@@ -1,0 +1,270 @@
+#include "numerics/optimize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace mram::num {
+
+namespace {
+
+void clamp_to_bounds(std::vector<double>& x, const std::vector<double>& lower,
+                     const std::vector<double>& upper) {
+  if (!lower.empty()) {
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] = std::max(x[i], lower[i]);
+  }
+  if (!upper.empty()) {
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] = std::min(x[i], upper[i]);
+  }
+}
+
+}  // namespace
+
+OptimizeResult nelder_mead(const ScalarObjective& f,
+                           const std::vector<double>& x0,
+                           const NelderMeadOptions& opts,
+                           const std::vector<double>& lower,
+                           const std::vector<double>& upper) {
+  MRAM_EXPECTS(!x0.empty(), "nelder_mead requires at least one parameter");
+  MRAM_EXPECTS(lower.empty() || lower.size() == x0.size(),
+               "lower bounds size mismatch");
+  MRAM_EXPECTS(upper.empty() || upper.size() == x0.size(),
+               "upper bounds size mismatch");
+
+  const std::size_t n = x0.size();
+  // Build the initial simplex: x0 plus n vertices displaced along each axis.
+  std::vector<std::vector<double>> simplex(n + 1, x0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double step = opts.initial_step * std::abs(x0[i]);
+    if (step == 0.0) step = opts.initial_step;
+    simplex[i + 1][i] += step;
+    clamp_to_bounds(simplex[i + 1], lower, upper);
+  }
+
+  std::vector<double> values(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) values[i] = f(simplex[i]);
+
+  OptimizeResult result;
+  std::vector<std::size_t> order(n + 1);
+
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+
+    const std::size_t best = order.front();
+    const std::size_t worst = order.back();
+    const std::size_t second_worst = order[n - 1];
+
+    // Convergence: simplex value spread.
+    const double spread = std::abs(values[worst] - values[best]);
+    const double scale = std::abs(values[best]) + std::abs(values[worst]) + 1e-30;
+    if (spread / scale < opts.tolerance || spread < opts.tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Centroid of all but worst.
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == worst) continue;
+      for (std::size_t d = 0; d < n; ++d) centroid[d] += simplex[i][d];
+    }
+    for (double& c : centroid) c /= static_cast<double>(n);
+
+    auto make_point = [&](double coeff) {
+      std::vector<double> p(n);
+      for (std::size_t d = 0; d < n; ++d) {
+        p[d] = centroid[d] + coeff * (simplex[worst][d] - centroid[d]);
+      }
+      clamp_to_bounds(p, lower, upper);
+      return p;
+    };
+
+    // Reflection.
+    auto reflected = make_point(-1.0);
+    const double fr = f(reflected);
+    if (fr < values[best]) {
+      // Expansion.
+      auto expanded = make_point(-2.0);
+      const double fe = f(expanded);
+      if (fe < fr) {
+        simplex[worst] = std::move(expanded);
+        values[worst] = fe;
+      } else {
+        simplex[worst] = std::move(reflected);
+        values[worst] = fr;
+      }
+    } else if (fr < values[second_worst]) {
+      simplex[worst] = std::move(reflected);
+      values[worst] = fr;
+    } else {
+      // Contraction.
+      auto contracted = make_point(0.5);
+      const double fc = f(contracted);
+      if (fc < values[worst]) {
+        simplex[worst] = std::move(contracted);
+        values[worst] = fc;
+      } else {
+        // Shrink toward the best vertex.
+        for (std::size_t i = 0; i <= n; ++i) {
+          if (i == best) continue;
+          for (std::size_t d = 0; d < n; ++d) {
+            simplex[i][d] = simplex[best][d] + 0.5 * (simplex[i][d] - simplex[best][d]);
+          }
+          clamp_to_bounds(simplex[i], lower, upper);
+          values[i] = f(simplex[i]);
+        }
+      }
+    }
+  }
+
+  const auto best_it = std::min_element(values.begin(), values.end());
+  result.cost = *best_it;
+  result.parameters = simplex[static_cast<std::size_t>(best_it - values.begin())];
+  return result;
+}
+
+std::vector<double> solve_spd(std::vector<double> a, std::vector<double> b) {
+  const std::size_t n = b.size();
+  MRAM_EXPECTS(a.size() == n * n, "solve_spd: matrix/vector size mismatch");
+
+  // Cholesky decomposition A = L L^T, in place (lower triangle).
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) sum -= a[i * n + k] * a[j * n + k];
+      if (i == j) {
+        if (sum <= 0.0) {
+          throw util::NumericalError("solve_spd: matrix not positive definite");
+        }
+        a[i * n + j] = std::sqrt(sum);
+      } else {
+        a[i * n + j] = sum / a[j * n + j];
+      }
+    }
+  }
+  // Forward substitution: L y = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= a[i * n + k] * b[k];
+    b[i] = sum / a[i * n + i];
+  }
+  // Back substitution: L^T x = y.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = b[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) sum -= a[k * n + ii] * b[k];
+    b[ii] = sum / a[ii * n + ii];
+  }
+  return b;
+}
+
+OptimizeResult levenberg_marquardt(const ResidualFn& residuals,
+                                   const std::vector<double>& x0,
+                                   const LevenbergMarquardtOptions& opts) {
+  MRAM_EXPECTS(!x0.empty(), "levenberg_marquardt requires parameters");
+
+  std::vector<double> x = x0;
+  std::vector<double> r = residuals(x);
+  const std::size_t m = r.size();
+  const std::size_t n = x.size();
+  MRAM_EXPECTS(m >= n, "levenberg_marquardt requires #residuals >= #params");
+
+  auto cost_of = [](const std::vector<double>& res) {
+    double c = 0.0;
+    for (double v : res) c += v * v;
+    return 0.5 * c;
+  };
+
+  double cost = cost_of(r);
+  double lambda = opts.initial_lambda;
+
+  OptimizeResult result;
+  result.parameters = x;
+  result.cost = cost;
+
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    // Numeric Jacobian J (m x n), forward differences.
+    std::vector<double> jac(m * n);
+    for (std::size_t j = 0; j < n; ++j) {
+      double step = opts.finite_diff_step * std::abs(x[j]);
+      if (step == 0.0) step = opts.finite_diff_step;
+      auto xp = x;
+      xp[j] += step;
+      const auto rp = residuals(xp);
+      MRAM_ENSURES(rp.size() == m, "residual size changed during optimization");
+      for (std::size_t i = 0; i < m; ++i) {
+        jac[i * n + j] = (rp[i] - r[i]) / step;
+      }
+    }
+
+    // Normal equations: (J^T J + lambda diag(J^T J)) dx = -J^T r.
+    std::vector<double> jtj(n * n, 0.0);
+    std::vector<double> jtr(n, 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t a1 = 0; a1 < n; ++a1) {
+        jtr[a1] += jac[i * n + a1] * r[i];
+        for (std::size_t a2 = 0; a2 <= a1; ++a2) {
+          jtj[a1 * n + a2] += jac[i * n + a1] * jac[i * n + a2];
+        }
+      }
+    }
+    for (std::size_t a1 = 0; a1 < n; ++a1) {
+      for (std::size_t a2 = a1 + 1; a2 < n; ++a2) {
+        jtj[a1 * n + a2] = jtj[a2 * n + a1];
+      }
+    }
+
+    bool step_accepted = false;
+    for (int attempt = 0; attempt < 30 && !step_accepted; ++attempt) {
+      auto damped = jtj;
+      for (std::size_t d = 0; d < n; ++d) {
+        damped[d * n + d] += lambda * std::max(jtj[d * n + d], 1e-30);
+      }
+      std::vector<double> rhs(n);
+      for (std::size_t d = 0; d < n; ++d) rhs[d] = -jtr[d];
+
+      std::vector<double> dx;
+      try {
+        dx = solve_spd(std::move(damped), std::move(rhs));
+      } catch (const util::NumericalError&) {
+        lambda *= 10.0;
+        continue;
+      }
+
+      auto x_new = x;
+      for (std::size_t d = 0; d < n; ++d) x_new[d] += dx[d];
+      const auto r_new = residuals(x_new);
+      const double cost_new = cost_of(r_new);
+      if (cost_new < cost) {
+        const double rel_decrease = (cost - cost_new) / std::max(cost, 1e-30);
+        x = std::move(x_new);
+        r = r_new;
+        cost = cost_new;
+        lambda = std::max(lambda * 0.3, 1e-12);
+        step_accepted = true;
+        if (rel_decrease < opts.tolerance) {
+          result.converged = true;
+        }
+      } else {
+        lambda *= 10.0;
+      }
+    }
+
+    result.parameters = x;
+    result.cost = cost;
+    if (!step_accepted || result.converged) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace mram::num

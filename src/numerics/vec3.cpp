@@ -1,0 +1,11 @@
+#include "numerics/vec3.h"
+
+#include <ostream>
+
+namespace mram::num {
+
+std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+}  // namespace mram::num

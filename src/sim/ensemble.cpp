@@ -1,0 +1,43 @@
+#include "sim/ensemble.h"
+
+#include "device/electrical.h"
+#include "util/error.h"
+
+namespace mram::sim {
+
+std::vector<EnsembleSummary> characterize_sizes(
+    const dev::MtjParams& nominal, const std::vector<double>& ecds,
+    const EnsembleConfig& config) {
+  MRAM_EXPECTS(config.devices_per_size >= 2,
+               "need at least two devices per size");
+  util::Rng rng(config.seed);
+
+  std::vector<EnsembleSummary> out;
+  out.reserve(ecds.size());
+  for (double ecd : ecds) {
+    dev::MtjParams size_nominal = nominal;
+    const double area_ratio =
+        (ecd * ecd) / (nominal.stack.ecd * nominal.stack.ecd);
+    size_nominal.stack.ecd = ecd;
+    size_nominal.delta0 = nominal.delta0 * area_ratio;
+
+    std::vector<double> hs, ecd_meas;
+    hs.reserve(config.devices_per_size);
+    ecd_meas.reserve(config.devices_per_size);
+    for (std::size_t d = 0; d < config.devices_per_size; ++d) {
+      const auto varied = config.variation.sample(size_nominal, rng);
+      const dev::MtjDevice device(varied);
+      hs.push_back(device.intra_stray_field());
+      ecd_meas.push_back(dev::ElectricalModel::ecd_from_rp(
+          varied.electrical.ra, device.electrical().rp()));
+    }
+    EnsembleSummary summary;
+    summary.ecd_nominal = ecd;
+    summary.hs_intra = util::summarize(hs);
+    summary.ecd_measured = util::summarize(ecd_meas);
+    out.push_back(summary);
+  }
+  return out;
+}
+
+}  // namespace mram::sim

@@ -1,0 +1,47 @@
+#include "sim/variation.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace mram::sim {
+
+void VariationModel::validate() const {
+  for (double s : {sigma_ecd_rel, sigma_hk_rel, sigma_ms_t_rel, sigma_tmr_rel,
+                   sigma_delta0_rel}) {
+    if (s < 0.0 || s > 0.5) {
+      throw util::ConfigError("variation sigmas must be in [0, 0.5]");
+    }
+  }
+}
+
+dev::MtjParams VariationModel::sample(const dev::MtjParams& nominal,
+                                      util::Rng& rng) const {
+  validate();
+  nominal.validate();
+  dev::MtjParams p = nominal;
+
+  auto scale = [&](double sigma_rel) {
+    // Truncate at +/-4 sigma and floor at 0.2 to keep parameters physical.
+    const double s = std::clamp(rng.normal(1.0, sigma_rel), 1.0 - 4.0 * sigma_rel,
+                                1.0 + 4.0 * sigma_rel);
+    return std::max(s, 0.2);
+  };
+
+  const double ecd_scale = scale(sigma_ecd_rel);
+  p.stack.ecd *= ecd_scale;
+  // Delta0 follows the FL area for fixed Hk and Ms*t.
+  p.delta0 *= ecd_scale * ecd_scale;
+
+  p.hk *= scale(sigma_hk_rel);
+  p.stack.ms_t_free *= scale(sigma_ms_t_rel);
+  p.stack.ms_t_reference *= scale(sigma_ms_t_rel);
+  p.stack.ms_t_hard *= scale(sigma_ms_t_rel);
+  p.electrical.tmr0 *= scale(sigma_tmr_rel);
+  p.delta0 *= scale(sigma_delta0_rel);
+
+  p.validate();
+  return p;
+}
+
+}  // namespace mram::sim

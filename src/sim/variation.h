@@ -1,0 +1,27 @@
+#pragma once
+
+#include "device/mtj_device.h"
+#include "util/rng.h"
+
+// Process-variation model: samples device instances around the calibrated
+// nominal, reproducing the device-to-device spread shown as error bars in
+// Fig. 2b. Dimensional variation (eCD) correlates Delta0 (area) and R_P
+// (1/area) automatically through the parameter derivations.
+
+namespace mram::sim {
+
+struct VariationModel {
+  double sigma_ecd_rel = 0.03;    ///< relative sigma of eCD (CD control)
+  double sigma_hk_rel = 0.05;     ///< relative sigma of Hk
+  double sigma_ms_t_rel = 0.03;   ///< relative sigma of each layer's Ms*t
+  double sigma_tmr_rel = 0.05;    ///< relative sigma of TMR0
+  double sigma_delta0_rel = 0.05; ///< extra (non-geometric) Delta0 spread
+
+  void validate() const;
+
+  /// Draws a varied device around `nominal`. eCD variation rescales Delta0
+  /// with the area ratio before the extra spread is applied.
+  dev::MtjParams sample(const dev::MtjParams& nominal, util::Rng& rng) const;
+};
+
+}  // namespace mram::sim

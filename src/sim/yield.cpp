@@ -1,0 +1,75 @@
+#include "sim/yield.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace mram::sim {
+
+void YieldSpec::validate() const {
+  if (write_voltage <= 0.0) {
+    throw util::ConfigError("write voltage must be positive");
+  }
+  if (max_switching_time <= 0.0) {
+    throw util::ConfigError("switching-time spec must be positive");
+  }
+  if (min_delta <= 0.0) {
+    throw util::ConfigError("Delta spec must be positive");
+  }
+  if (temperature <= 0.0) {
+    throw util::ConfigError("temperature must be positive");
+  }
+}
+
+YieldResult estimate_yield(const dev::MtjParams& nominal,
+                           const VariationModel& variation, double pitch,
+                           const YieldSpec& spec, std::size_t samples,
+                           util::Rng& rng) {
+  MRAM_EXPECTS(samples > 0, "need at least one sample");
+  spec.validate();
+
+  YieldResult result;
+  result.sampled = samples;
+  for (std::size_t k = 0; k < samples; ++k) {
+    const auto params = variation.sample(nominal, rng);
+    if (pitch < params.stack.ecd) {
+      // An oversized sample does not fit the pitch: counts as a fail.
+      continue;
+    }
+    const dev::MtjDevice device(params);
+    const arr::InterCellSolver coupling(params.stack, pitch);
+    const double h_worst = device.intra_stray_field() +
+                           coupling.field_for(arr::Np8::all_parallel());
+
+    const double tw = device.switching_time(dev::SwitchDirection::kApToP,
+                                            spec.write_voltage, h_worst);
+    const bool write_ok = std::isfinite(tw) && tw <= spec.max_switching_time;
+
+    const double delta = device.delta(dev::MtjState::kParallel, h_worst,
+                                      spec.temperature);
+    const bool retention_ok = delta >= spec.min_delta;
+
+    result.pass_write += write_ok;
+    result.pass_retention += retention_ok;
+    result.pass_both += (write_ok && retention_ok);
+  }
+  result.yield = static_cast<double>(result.pass_both) /
+                 static_cast<double>(result.sampled);
+  return result;
+}
+
+std::vector<YieldPoint> yield_vs_pitch(const dev::MtjParams& nominal,
+                                       const VariationModel& variation,
+                                       const std::vector<double>& pitches,
+                                       const YieldSpec& spec,
+                                       std::size_t samples, util::Rng& rng) {
+  std::vector<YieldPoint> out;
+  out.reserve(pitches.size());
+  for (double pitch : pitches) {
+    out.push_back(
+        {pitch, estimate_yield(nominal, variation, pitch, spec, samples, rng)});
+  }
+  return out;
+}
+
+}  // namespace mram::sim

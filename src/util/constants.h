@@ -1,0 +1,37 @@
+#pragma once
+
+// Physical constants used throughout the library. All values are CODATA-2018
+// in SI units. Keeping them in one header guarantees every module computes
+// with the same numbers (important when calibration fits one module's output
+// against another's).
+
+namespace mram::util {
+
+/// Vacuum permeability mu0 [T*m/A] (equivalently [H/m]).
+inline constexpr double kMu0 = 1.25663706212e-6;
+
+/// Elementary charge e [C].
+inline constexpr double kElementaryCharge = 1.602176634e-19;
+
+/// Reduced Planck constant hbar [J*s].
+inline constexpr double kHbar = 1.054571817e-34;
+
+/// Boltzmann constant kB [J/K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+/// Bohr magneton muB [J/T].
+inline constexpr double kBohrMagneton = 9.2740100783e-24;
+
+/// Gyromagnetic ratio of the electron gamma [rad/(s*T)] (|gamma_e|).
+inline constexpr double kGyromagneticRatio = 1.76085963023e11;
+
+/// Euler--Mascheroni constant C, used by Sun's switching-time model (Eq. 3).
+inline constexpr double kEulerGamma = 0.5772156649015329;
+
+/// pi, to avoid depending on C library M_PI.
+inline constexpr double kPi = 3.141592653589793238462643383279502884;
+
+/// Absolute zero offset: T[K] = T[degC] + kCelsiusOffset.
+inline constexpr double kCelsiusOffset = 273.15;
+
+}  // namespace mram::util

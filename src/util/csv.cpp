@@ -1,0 +1,86 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace mram::util {
+
+namespace {
+
+std::vector<std::string> split_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream is(line);
+  while (std::getline(is, cell, ',')) {
+    // Trim surrounding whitespace.
+    const auto first = cell.find_first_not_of(" \t\r");
+    const auto last = cell.find_last_not_of(" \t\r");
+    cells.push_back(first == std::string::npos
+                        ? std::string{}
+                        : cell.substr(first, last - first + 1));
+  }
+  return cells;
+}
+
+}  // namespace
+
+std::size_t CsvDocument::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  throw ConfigError("CSV column not found: " + name);
+}
+
+CsvDocument parse_numeric_csv(const std::string& text) {
+  CsvDocument doc;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    auto cells = split_line(line);
+    if (cells.empty()) continue;
+    if (doc.header.empty()) {
+      doc.header = std::move(cells);
+      continue;
+    }
+    if (cells.size() != doc.header.size()) {
+      throw ConfigError("CSV row width mismatch: expected " +
+                        std::to_string(doc.header.size()) + ", got " +
+                        std::to_string(cells.size()));
+    }
+    std::vector<double> row;
+    row.reserve(cells.size());
+    for (const auto& c : cells) {
+      try {
+        std::size_t consumed = 0;
+        const double v = std::stod(c, &consumed);
+        if (consumed != c.size()) throw std::invalid_argument(c);
+        row.push_back(v);
+      } catch (const std::exception&) {
+        throw ConfigError("CSV cell is not numeric: '" + c + "'");
+      }
+    }
+    doc.rows.push_back(std::move(row));
+  }
+  if (doc.header.empty()) throw ConfigError("CSV has no header line");
+  return doc;
+}
+
+CsvDocument read_numeric_csv(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw ConfigError("cannot open CSV file: " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return parse_numeric_csv(buf.str());
+}
+
+void write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream f(path);
+  if (!f) throw ConfigError("cannot open file for writing: " + path);
+  f << text;
+  if (!f) throw ConfigError("failed writing file: " + path);
+}
+
+}  // namespace mram::util

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+// Error handling machinery (C++ Core Guidelines I.5/I.7/E.x style):
+//   * MRAM_EXPECTS(cond, msg)  -- precondition check, throws ContractViolation.
+//   * MRAM_ENSURES(cond, msg)  -- postcondition check, throws ContractViolation.
+//   * ConfigError              -- invalid user-provided configuration.
+//   * NumericalError           -- solver / fitter failed to converge.
+//
+// Contract checks stay enabled in release builds: this library is used for
+// calibration studies where a silently out-of-domain model evaluation is far
+// more expensive than the branch.
+
+namespace mram::util {
+
+/// Thrown when a function contract (pre/postcondition) is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when user-supplied configuration is inconsistent or out of range.
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an iterative numerical method fails to converge.
+class NumericalError : public std::runtime_error {
+ public:
+  explicit NumericalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* cond,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw ContractViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace mram::util
+
+#define MRAM_EXPECTS(cond, msg)                                              \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::mram::util::detail::contract_fail("precondition", #cond, __FILE__,   \
+                                          __LINE__, (msg));                  \
+  } while (false)
+
+#define MRAM_ENSURES(cond, msg)                                              \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::mram::util::detail::contract_fail("postcondition", #cond, __FILE__,  \
+                                          __LINE__, (msg));                  \
+  } while (false)

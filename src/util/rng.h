@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+// Deterministic random number generation for simulations.
+//
+// We implement xoshiro256++ (public domain, Blackman & Vigna) instead of using
+// std::mt19937 because (a) results must be bit-reproducible across standard
+// library implementations -- experiment tables in EXPERIMENTS.md are generated
+// from seeded runs -- and (b) it is significantly faster in the Monte Carlo
+// loops of the write-error-rate benches.
+
+namespace mram::util {
+
+/// xoshiro256++ engine. Satisfies std::uniform_random_bit_generator, so it can
+/// be used with <random> distributions, though the member helpers below are
+/// preferred for reproducibility.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words of state from a single seed via splitmix64,
+  /// as recommended by the xoshiro authors.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal deviate (Marsaglia polar method, cached spare).
+  double normal();
+
+  /// Normal deviate with the given mean and standard deviation.
+  double normal(double mean, double sigma);
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  std::uint64_t below(std::uint64_t n);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Splits off an independent stream (jump-free: reseeds a child from the
+  /// parent's output, sufficient decorrelation for our Monte Carlo usage).
+  Rng split();
+
+ private:
+  std::uint64_t next();
+
+  std::uint64_t state_[4];
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace mram::util

@@ -1,0 +1,111 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace mram::util {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  MRAM_EXPECTS(n_ > 0, "mean of empty sample");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  MRAM_EXPECTS(n_ > 0, "min of empty sample");
+  return min_;
+}
+
+double RunningStats::max() const {
+  MRAM_EXPECTS(n_ > 0, "max of empty sample");
+  return max_;
+}
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  MRAM_EXPECTS(!sorted.empty(), "quantile of empty sample");
+  MRAM_EXPECTS(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1]");
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::span<const double> xs) {
+  MRAM_EXPECTS(!xs.empty(), "summarize of empty sample");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+
+  Summary s;
+  s.count = xs.size();
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = sorted.front();
+  s.q25 = quantile_sorted(sorted, 0.25);
+  s.median = quantile_sorted(sorted, 0.5);
+  s.q75 = quantile_sorted(sorted, 0.75);
+  s.max = sorted.back();
+  return s;
+}
+
+double median(std::vector<double> xs) {
+  MRAM_EXPECTS(!xs.empty(), "median of empty sample");
+  std::sort(xs.begin(), xs.end());
+  return quantile_sorted(xs, 0.5);
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  MRAM_EXPECTS(xs.size() == ys.size(), "pearson requires equal-length samples");
+  MRAM_EXPECTS(xs.size() >= 2, "pearson requires at least two points");
+  RunningStats sx, sy;
+  for (double x : xs) sx.add(x);
+  for (double y : ys) sy.add(y);
+  double cov = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    cov += (xs[i] - sx.mean()) * (ys[i] - sy.mean());
+  }
+  cov /= static_cast<double>(xs.size() - 1);
+  const double denom = sx.stddev() * sy.stddev();
+  MRAM_EXPECTS(denom > 0.0, "pearson undefined for constant sample");
+  return cov / denom;
+}
+
+Interval wilson_interval(std::size_t successes, std::size_t trials, double z) {
+  MRAM_EXPECTS(trials > 0, "wilson_interval requires trials > 0");
+  MRAM_EXPECTS(successes <= trials, "successes cannot exceed trials");
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+}  // namespace mram::util

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+// Lightweight descriptive statistics used by characterization (device-to-device
+// spread, switching-probability estimation) and Monte Carlo result summaries.
+
+namespace mram::util {
+
+/// Streaming accumulator for mean / variance (Welford) and extrema.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+
+  /// Mean of the accumulated samples. Precondition: !empty().
+  double mean() const;
+
+  /// Unbiased sample variance. Returns 0 for fewer than two samples.
+  double variance() const;
+
+  /// Sample standard deviation (sqrt of variance()).
+  double stddev() const;
+
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Summary of a sample: mean, stddev, extrema, quartiles and median.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double q25 = 0.0;
+  double median = 0.0;
+  double q75 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes a full summary of `xs`. Precondition: !xs.empty().
+Summary summarize(std::span<const double> xs);
+
+/// Linearly interpolated quantile q in [0,1] of `sorted` (ascending).
+/// Precondition: !sorted.empty(), 0 <= q <= 1.
+double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Median helper that sorts a copy.
+double median(std::vector<double> xs);
+
+/// Pearson correlation of two equal-length samples. Precondition: sizes match
+/// and are >= 2.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Wilson score interval for a binomial proportion (successes/trials) at the
+/// given z (default 1.96 ~ 95%). Returns {lo, hi}. Used for write-error-rate
+/// confidence bounds.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+Interval wilson_interval(std::size_t successes, std::size_t trials,
+                         double z = 1.96);
+
+}  // namespace mram::util

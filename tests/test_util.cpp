@@ -1,0 +1,314 @@
+// Unit tests for src/util: RNG, statistics, tables, CSV, units, errors.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/constants.h"
+#include "util/csv.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace mram::util {
+namespace {
+
+// --- units ------------------------------------------------------------------
+
+TEST(Units, OerstedRoundTrip) {
+  EXPECT_NEAR(a_per_m_to_oe(oe_to_a_per_m(123.4)), 123.4, 1e-10);
+  EXPECT_NEAR(oe_to_a_per_m(1.0), 79.5774715459, 1e-6);
+}
+
+TEST(Units, PaperConstantsInSi) {
+  // Hk = 4646.8 Oe and Hc = 2.2 kOe from the paper.
+  EXPECT_NEAR(oe_to_a_per_m(4646.8), 369780.6, 1.0);
+  EXPECT_NEAR(oe_to_a_per_m(2200.0), 175070.4, 1.0);
+}
+
+TEST(Units, TeslaConversion) {
+  const double h = oe_to_a_per_m(10000.0);  // 1 T is about 10 kOe
+  EXPECT_NEAR(a_per_m_to_tesla(h), 1.0, 0.01);
+  EXPECT_NEAR(tesla_to_a_per_m(a_per_m_to_tesla(12345.0)), 12345.0, 1e-6);
+}
+
+TEST(Units, LengthTimeCurrent) {
+  EXPECT_DOUBLE_EQ(nm_to_m(35.0), 35e-9);
+  EXPECT_DOUBLE_EQ(m_to_nm(nm_to_m(35.0)), 35.0);
+  EXPECT_DOUBLE_EQ(ns_to_s(20.0), 20e-9);
+  EXPECT_DOUBLE_EQ(s_to_ns(ns_to_s(20.0)), 20.0);
+  EXPECT_DOUBLE_EQ(ua_to_a(57.2), 57.2e-6);
+  EXPECT_DOUBLE_EQ(a_to_ua(ua_to_a(57.2)), 57.2);
+}
+
+TEST(Units, TemperatureAndRa) {
+  EXPECT_DOUBLE_EQ(celsius_to_kelvin(0.0), 273.15);
+  EXPECT_DOUBLE_EQ(kelvin_to_celsius(celsius_to_kelvin(150.0)), 150.0);
+  EXPECT_DOUBLE_EQ(ohm_um2_to_ohm_m2(4.5), 4.5e-12);
+  EXPECT_DOUBLE_EQ(ohm_m2_to_ohm_um2(ohm_um2_to_ohm_m2(4.5)), 4.5);
+}
+
+TEST(Units, Magnetization) {
+  EXPECT_DOUBLE_EQ(emu_per_cc_to_a_per_m(1000.0), 1e6);
+  EXPECT_DOUBLE_EQ(emu_per_cm2_to_a(1e-4), 1e-3);
+}
+
+// --- error machinery --------------------------------------------------------
+
+TEST(Error, ExpectsThrowsWithContext) {
+  try {
+    MRAM_EXPECTS(1 == 2, "one is not two");
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+    EXPECT_NE(what.find("one is not two"), std::string::npos);
+  }
+}
+
+TEST(Error, EnsuresThrows) {
+  EXPECT_THROW(MRAM_ENSURES(false, "bad"), ContractViolation);
+}
+
+TEST(Error, PassingChecksDoNotThrow) {
+  EXPECT_NO_THROW(MRAM_EXPECTS(true, ""));
+  EXPECT_NO_THROW(MRAM_ENSURES(true, ""));
+}
+
+// --- RNG --------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(12);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+  EXPECT_THROW(rng.uniform(2.0, 1.0), ContractViolation);
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+  Rng rng(13);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.uniform());
+  EXPECT_NEAR(s.mean(), 0.5, 0.005);
+  EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(14);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.normal());
+  EXPECT_NEAR(s.mean(), 0.0, 0.01);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.01);
+}
+
+TEST(Rng, NormalScaled) {
+  Rng rng(15);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+  EXPECT_THROW(rng.normal(0.0, -1.0), ContractViolation);
+}
+
+TEST(Rng, BelowIsUnbiased) {
+  Rng rng(16);
+  std::array<int, 7> counts{};
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(7)];
+  for (int c : counts) EXPECT_NEAR(c, n / 7.0, 5.0 * std::sqrt(n / 7.0));
+  EXPECT_THROW(rng.below(0), ContractViolation);
+}
+
+TEST(Rng, BernoulliEdgeCasesAndRate) {
+  Rng rng(17);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  EXPECT_FALSE(rng.bernoulli(-0.5));
+  EXPECT_TRUE(rng.bernoulli(1.5));
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Rng, SplitProducesDecorrelatedStream) {
+  Rng parent(21);
+  Rng child = parent.split();
+  RunningStats corr;
+  // Crude decorrelation check: child and parent outputs should not be equal.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (parent() == child());
+  EXPECT_EQ(same, 0);
+}
+
+// --- statistics -------------------------------------------------------------
+
+TEST(Stats, RunningStatsBasics) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW(s.mean(), ContractViolation);
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, VarianceOfSingleSampleIsZero) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Stats, SummaryQuartiles) {
+  std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const auto s = summarize(xs);
+  EXPECT_EQ(s.count, 9u);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+  EXPECT_DOUBLE_EQ(s.q25, 3.0);
+  EXPECT_DOUBLE_EQ(s.q75, 7.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 1.0), 10.0);
+  EXPECT_THROW(quantile_sorted(xs, 1.5), ContractViolation);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_THROW(median({}), ContractViolation);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  std::vector<double> xs{1, 2, 3, 4};
+  std::vector<double> ys{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  std::vector<double> yneg{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, yneg), -1.0, 1e-12);
+}
+
+TEST(Stats, WilsonIntervalProperties) {
+  const auto iv = wilson_interval(5, 100);
+  EXPECT_GT(iv.lo, 0.0);
+  EXPECT_LT(iv.lo, 0.05);
+  EXPECT_GT(iv.hi, 0.05);
+  EXPECT_LT(iv.hi, 0.15);
+  // Zero successes still yields a positive upper bound.
+  const auto zero = wilson_interval(0, 50);
+  EXPECT_DOUBLE_EQ(zero.lo, 0.0);
+  EXPECT_GT(zero.hi, 0.0);
+  EXPECT_THROW(wilson_interval(5, 0), ContractViolation);
+  EXPECT_THROW(wilson_interval(5, 4), ContractViolation);
+}
+
+// --- table ------------------------------------------------------------------
+
+TEST(Table, AlignedTextOutput) {
+  Table t({"a", "long_header"});
+  t.add_row({"1", "2"});
+  t.add_numeric_row({3.14159, 2.71828}, 2);
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("long_header"), std::string::npos);
+  EXPECT_NE(text.find("3.14"), std::string::npos);
+  // All lines share the same width.
+  std::istringstream is(text);
+  std::string line;
+  std::set<std::size_t> widths;
+  while (std::getline(is, line)) widths.insert(line.size());
+  EXPECT_EQ(widths.size(), 1u);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+  EXPECT_THROW(Table({}), ContractViolation);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"name", "value"});
+  t.add_row({"with,comma", "with\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, PrintIncludesTitle) {
+  Table t({"x"});
+  t.add_row({"1"});
+  std::ostringstream os;
+  t.print(os, "My Title");
+  EXPECT_NE(os.str().find("== My Title =="), std::string::npos);
+}
+
+TEST(Table, FormatDoublePrecision) {
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+// --- csv --------------------------------------------------------------------
+
+TEST(Csv, ParsesHeaderAndRows) {
+  const auto doc = parse_numeric_csv("# comment\n a , b\n1,2\n3.5,-4\n");
+  ASSERT_EQ(doc.header.size(), 2u);
+  EXPECT_EQ(doc.header[0], "a");
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(doc.rows[1][0], 3.5);
+  EXPECT_DOUBLE_EQ(doc.rows[1][1], -4.0);
+  EXPECT_EQ(doc.column("b"), 1u);
+  EXPECT_THROW(doc.column("missing"), ConfigError);
+}
+
+TEST(Csv, RejectsMalformedInput) {
+  EXPECT_THROW(parse_numeric_csv(""), ConfigError);
+  EXPECT_THROW(parse_numeric_csv("a,b\n1\n"), ConfigError);
+  EXPECT_THROW(parse_numeric_csv("a,b\n1,notanumber\n"), ConfigError);
+}
+
+TEST(Csv, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/mram_csv_test.csv";
+  write_text_file(path, "x,y\n1,2\n");
+  const auto doc = read_numeric_csv(path);
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(doc.rows[0][1], 2.0);
+  EXPECT_THROW(read_numeric_csv("/nonexistent/nope.csv"), ConfigError);
+}
+
+}  // namespace
+}  // namespace mram::util
