@@ -16,6 +16,7 @@ int main() {
   const dev::MtjDevice device(dev::MtjParams::reference_device(35e-9));
   const double intra = device.intra_stray_field();
   util::Rng rng(71);
+  eng::MonteCarloRunner runner;  // one pool for the whole voltage sweep
 
   util::Table t({"Vp (V)", "Sun tw (ns)", "LLG mean (ns)", "LLG sigma (ns)",
                  "switched/trials", "LLG/Sun"});
@@ -23,7 +24,8 @@ int main() {
     const double tw_sun =
         device.switching_time(SwitchDirection::kApToP, vp, intra);
     const auto stats = dyn::llg_switching_stats(
-        device, SwitchDirection::kApToP, vp, intra, 16, rng, 60e-9, 2e-12);
+        device, SwitchDirection::kApToP, vp, intra, 16, rng, 60e-9, 2e-12,
+        300.0, runner);
     const double mean_ns = s_to_ns(stats.mean_time);
     t.add_row({util::format_double(vp, 2),
                util::format_double(s_to_ns(tw_sun), 2),

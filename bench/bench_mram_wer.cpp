@@ -2,9 +2,33 @@
 // the aggressive pitch (1.5x eCD) for different data backgrounds. The paper
 // argues a larger write margin is needed to cover the worst case (NP8 = 0);
 // this bench quantifies that margin in WER terms.
+//
+// The trial loop runs on the engine's MonteCarloRunner; the scaling section
+// at the end measures the parallel speedup on this machine and checks that
+// the statistics are bit-identical across thread counts for a fixed seed.
+
+#include <chrono>
 
 #include "bench_common.h"
 #include "mram/wer.h"
+
+namespace {
+
+double seconds_for(const mram::mem::WerConfig& cfg, unsigned threads,
+                   mram::mem::WerResult* out) {
+  using clock = std::chrono::steady_clock;
+  // Pool spawn and shared setup stay outside the timed window: the column
+  // measures trial throughput, not thread creation.
+  mram::eng::RunnerConfig runner_cfg = cfg.runner;
+  runner_cfg.threads = threads;
+  mram::eng::MonteCarloRunner runner(runner_cfg);
+  mram::util::Rng rng(9001);  // same seed per thread count: results must match
+  const auto start = clock::now();
+  *out = mram::mem::measure_wer(cfg, rng, runner);
+  return std::chrono::duration<double>(clock::now() - start).count();
+}
+
+}  // namespace
 
 int main() {
   using namespace mram;
@@ -27,6 +51,7 @@ int main() {
       device.intra_stray_field());
 
   util::Rng rng(123);
+  eng::MonteCarloRunner table_runner(cfg.runner);  // one pool for the table
   util::Table t({"pulse (ns)", "WER all-0 (worst)", "WER checkerboard",
                  "WER all-1 (best)"});
   for (double frac : {0.7, 0.85, 1.0, 1.15, 1.3, 1.6, 2.0}) {
@@ -38,7 +63,7 @@ int main() {
       auto c = cfg;
       c.background = kind;
       c.pulse.width = width;
-      const auto result = mem::measure_wer(c, rng);
+      const auto result = mem::measure_wer(c, rng, table_runner);
       row.push_back(util::format_double(result.wer, 4));
     }
     t.add_row(row);
@@ -47,9 +72,37 @@ int main() {
           "WER at Vp = 0.9 V, pitch = 1.5 x eCD (tw_intra = " +
               util::format_double(s_to_ns(tw_intra), 2) + " ns)");
 
+  // --- engine scaling ------------------------------------------------------
+
+  mem::WerConfig scale_cfg = cfg;
+  scale_cfg.pulse.width = tw_intra;
+  scale_cfg.trials = 20000;
+
+  util::Table scaling({"threads", "time (s)", "speedup", "WER"});
+  mem::WerResult serial;
+  const double t1 = seconds_for(scale_cfg, 1, &serial);
+  scaling.add_row({"1", util::format_double(t1, 3), "1.00",
+                   util::format_double(serial.wer, 6)});
+  bool identical = true;
+  for (unsigned threads : {2u, 4u, 8u}) {
+    mem::WerResult r;
+    const double tn = seconds_for(scale_cfg, threads, &r);
+    identical = identical && r.wer == serial.wer &&
+                r.errors == serial.errors &&
+                r.mean_success_probability == serial.mean_success_probability;
+    scaling.add_row({std::to_string(threads), util::format_double(tn, 3),
+                     util::format_double(t1 / tn, 2),
+                     util::format_double(r.wer, 6)});
+  }
+  scaling.print(std::cout, "MonteCarloRunner scaling, " +
+                               std::to_string(scale_cfg.trials) +
+                               " seeded trials");
+  std::cout << "bit-identical statistics across thread counts: "
+            << (identical ? "yes" : "NO -- DETERMINISM BUG") << "\n";
+
   bench::print_footer(
       "The all-0 background (NP8 = 0 at the victim) needs the longest pulse\n"
       "for a given WER target -- the write-margin conclusion of Fig. 5c at\n"
       "the memory level.");
-  return 0;
+  return identical ? 0 : 1;
 }

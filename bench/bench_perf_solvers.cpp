@@ -6,8 +6,12 @@
 #include "array/array_field.h"
 #include "array/intercell.h"
 #include "device/mtj_device.h"
+#include "dynamics/llg.h"
+#include "engine/monte_carlo.h"
 #include "magnetics/current_loop.h"
 #include "mram/mram_array.h"
+#include "numerics/ode.h"
+#include "numerics/solvers.h"
 
 namespace {
 
@@ -76,6 +80,95 @@ void BM_ArrayFieldMap(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ArrayFieldMap)->Arg(1)->Arg(2);
+
+// --- solver dispatch: std::function shim vs. templated policy --------------
+
+dyn::LlgParams bench_llg_params() {
+  dyn::LlgParams p;
+  p.current = 120e-6;
+  return p;
+}
+
+void BM_LlgRk4StepTypeErased(benchmark::State& state) {
+  const dyn::MacrospinSim sim(bench_llg_params());
+  const num::Vec3Rhs f = [&](double t, const num::Vec3& m) {
+    return sim.rhs_functor()(t, m);
+  };
+  num::Vec3 m{0.02, 0.0, -0.9998};
+  for (auto _ : state) {
+    m = num::normalized(num::rk4_step(f, 0.0, m, 1e-13));
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_LlgRk4StepTypeErased);
+
+void BM_LlgRk4StepStaticDispatch(benchmark::State& state) {
+  const dyn::MacrospinSim sim(bench_llg_params());
+  const auto& f = sim.rhs_functor();
+  num::Vec3 m{0.02, 0.0, -0.9998};
+  for (auto _ : state) {
+    m = num::normalized(num::Rk4Solver::step(f, 0.0, m, 1e-13));
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_LlgRk4StepStaticDispatch);
+
+void BM_LlgRunDeterministic(benchmark::State& state) {
+  const dyn::MacrospinSim sim(bench_llg_params());
+  const num::Vec3 m0 = num::normalized({0.02, 0.0, -0.9998});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(m0, 1e-9, 1e-13));
+  }
+}
+BENCHMARK(BM_LlgRunDeterministic);
+
+void BM_LlgRunAdaptiveRk45(benchmark::State& state) {
+  const dyn::MacrospinSim sim(bench_llg_params());
+  const num::Vec3 m0 = num::normalized({0.02, 0.0, -0.9998});
+  num::AdaptiveConfig cfg;
+  cfg.abs_tol = 1e-8;
+  cfg.rel_tol = 1e-8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run_adaptive(m0, 1e-9, cfg));
+  }
+}
+BENCHMARK(BM_LlgRunAdaptiveRk45);
+
+// --- cached coupling kernel -------------------------------------------------
+
+void BM_MramStrayFieldAt(benchmark::State& state) {
+  mem::ArrayConfig cfg;
+  cfg.device = dev::MtjParams::reference_device(35e-9);
+  cfg.pitch = 70e-9;
+  cfg.rows = cfg.cols = 16;
+  cfg.coupling_radius = static_cast<int>(state.range(0));
+  mem::MramArray array(cfg);
+  std::size_t r = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(array.stray_field_at(r & 15, (r >> 4) & 15));
+    ++r;
+  }
+}
+BENCHMARK(BM_MramStrayFieldAt)->Arg(1)->Arg(2);
+
+// --- Monte Carlo runner -----------------------------------------------------
+
+void BM_RunnerSchedulingOverhead(benchmark::State& state) {
+  struct Count {
+    std::size_t n = 0;
+    void merge(const Count& o) { n += o.n; }
+  };
+  eng::RunnerConfig cfg;
+  cfg.threads = static_cast<unsigned>(state.range(0));
+  eng::MonteCarloRunner runner(cfg);
+  for (auto _ : state) {
+    const auto total = runner.run<Count>(
+        4096, 42,
+        [](util::Rng& rng, std::size_t, Count& acc) { acc.n += rng() & 1; });
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_RunnerSchedulingOverhead)->Arg(1)->Arg(4);
 
 void BM_MramWrite(benchmark::State& state) {
   mem::ArrayConfig cfg;

@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
             << " ns)\n\n";
 
   util::Rng rng(2718);
+  eng::MonteCarloRunner runner(cfg.runner);  // one pool for every bisection
   util::Table t({"background", "pulse for WER<=1e-2 (ns)",
                  "pulse / tw_intra", "analytic pulse (ns)"});
   for (auto kind : {arr::PatternKind::kAllZero, arr::PatternKind::kCheckerboard,
@@ -52,7 +53,7 @@ int main(int argc, char** argv) {
     double lo = 0.2 * tw_intra, hi = 5.0 * tw_intra;
     for (int iter = 0; iter < 12; ++iter) {
       cfg.pulse.width = 0.5 * (lo + hi);
-      const auto result = mem::measure_wer(cfg, rng);
+      const auto result = mem::measure_wer(cfg, rng, runner);
       if (result.wer > 1e-2) {
         lo = cfg.pulse.width;
       } else {

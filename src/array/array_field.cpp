@@ -1,5 +1,6 @@
 #include "array/array_field.h"
 
+#include <algorithm>
 #include <numeric>
 
 #include "util/error.h"
@@ -39,6 +40,11 @@ ArrayFieldModel::ArrayFieldModel(const dev::StackGeometry& stack, double pitch,
   MRAM_EXPECTS(pitch >= stack.ecd, "pitch must be at least one diameter");
   MRAM_EXPECTS(radius >= 1, "truncation radius must be >= 1");
 
+  // One dipole-sum evaluation per offset, cached for the lifetime of the
+  // model; everything downstream is table convolution.
+  const int side = kernel_side();
+  kernel_fixed_.assign(static_cast<std::size_t>(side) * side, 0.0);
+  kernel_fl_.assign(static_cast<std::size_t>(side) * side, 0.0);
   const Vec3 victim{};
   for (int dr = -radius; dr <= radius; ++dr) {
     for (int dc = -radius; dc <= radius; ++dc) {
@@ -48,38 +54,78 @@ ArrayFieldModel::ArrayFieldModel(const dev::StackGeometry& stack, double pitch,
       const auto hl = stack_.source_for(Layer::kHardLayer, cell);
       const auto fl =
           stack_.source_for(Layer::kFreeLayer, cell, MtjState::kParallel);
-      Offset o;
-      o.dr = dr;
-      o.dc = dc;
-      o.fixed = mag::disk_field(rl, victim, method).z +
-                mag::disk_field(hl, victim, method).z;
-      o.fl_unit = mag::disk_field(fl, victim, method).z;
-      offsets_.push_back(o);
+      const std::size_t k =
+          static_cast<std::size_t>(dr + radius) * side + (dc + radius);
+      kernel_fixed_[k] = mag::disk_field(rl, victim, method).z +
+                         mag::disk_field(hl, victim, method).z;
+      kernel_fl_[k] = mag::disk_field(fl, victim, method).z;
     }
   }
 }
 
 double ArrayFieldModel::interior_fixed_field() const {
+  return std::accumulate(kernel_fixed_.begin(), kernel_fixed_.end(), 0.0);
+}
+
+std::vector<double> ArrayFieldModel::fixed_field_map(std::size_t rows,
+                                                     std::size_t cols) const {
+  MRAM_EXPECTS(rows > 0 && cols > 0, "grid dimensions must be positive");
+  std::vector<double> out(rows * cols, 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      double hz = 0.0;
+      visit_kernel_rows(rows, cols, r, c,
+                        [&](std::size_t k, std::size_t, int dc_lo,
+                            int dc_hi) {
+                          const double* kf = &kernel_fixed_[k];
+                          for (int dc = dc_lo; dc <= dc_hi; ++dc) {
+                            hz += kf[dc];
+                          }
+                        });
+      out[r * cols + c] = hz;
+    }
+  }
+  return out;
+}
+
+double ArrayFieldModel::fl_field_at(const DataGrid& grid, std::size_t r,
+                                    std::size_t c) const {
+  MRAM_EXPECTS(r < grid.rows() && c < grid.cols(), "cell index out of range");
   double hz = 0.0;
-  for (const auto& o : offsets_) hz += o.fixed;
+  visit_kernel_rows(
+      grid.rows(), grid.cols(), r, c,
+      [&](std::size_t k, std::size_t gr, int dc_lo, int dc_hi) {
+        const std::uint8_t* bits = grid.row(gr) + c;
+        const double* ku = &kernel_fl_[k];
+        for (int dc = dc_lo; dc <= dc_hi; ++dc) {
+          // P aggressor (bit 0) adds +u, AP (bit 1) adds -u; the center
+          // entry is zero so the victim never couples to itself.
+          hz += bits[dc] ? -ku[dc] : ku[dc];
+        }
+      });
+  return hz;
+}
+
+double ArrayFieldModel::field_at_unchecked(const DataGrid& grid, std::size_t r,
+                                           std::size_t c) const {
+  double hz = 0.0;
+  visit_kernel_rows(
+      grid.rows(), grid.cols(), r, c,
+      [&](std::size_t k, std::size_t gr, int dc_lo, int dc_hi) {
+        const std::uint8_t* bits = grid.row(gr) + c;
+        const double* kf = &kernel_fixed_[k];
+        const double* ku = &kernel_fl_[k];
+        for (int dc = dc_lo; dc <= dc_hi; ++dc) {
+          hz += kf[dc] + (bits[dc] ? -ku[dc] : ku[dc]);
+        }
+      });
   return hz;
 }
 
 double ArrayFieldModel::field_at(const DataGrid& grid, std::size_t r,
                                  std::size_t c) const {
   MRAM_EXPECTS(r < grid.rows() && c < grid.cols(), "cell index out of range");
-  double hz = 0.0;
-  const auto rows = static_cast<long>(grid.rows());
-  const auto cols = static_cast<long>(grid.cols());
-  for (const auto& o : offsets_) {
-    const long rr = static_cast<long>(r) + o.dr;
-    const long cc = static_cast<long>(c) + o.dc;
-    if (rr < 0 || rr >= rows || cc < 0 || cc >= cols) continue;
-    const int bit =
-        grid.at(static_cast<std::size_t>(rr), static_cast<std::size_t>(cc));
-    hz += o.fixed + (bit ? -o.fl_unit : o.fl_unit);
-  }
-  return hz;
+  return field_at_unchecked(grid, r, c);
 }
 
 std::vector<double> ArrayFieldModel::field_map(const DataGrid& grid) const {
@@ -87,7 +133,7 @@ std::vector<double> ArrayFieldModel::field_map(const DataGrid& grid) const {
   out.reserve(grid.rows() * grid.cols());
   for (std::size_t r = 0; r < grid.rows(); ++r) {
     for (std::size_t c = 0; c < grid.cols(); ++c) {
-      out.push_back(field_at(grid, r, c));
+      out.push_back(field_at_unchecked(grid, r, c));
     }
   }
   return out;

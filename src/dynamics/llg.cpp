@@ -32,30 +32,29 @@ void LlgParams::validate() const {
   }
 }
 
+namespace {
+
+/// Projects solver stage inputs back onto the unit sphere so that every RHS
+/// evaluation sees a unit magnetization (the renormalized RK of the seed
+/// implementation, expressed as an RHS wrapper around the solver policies).
+struct ProjectedRhs {
+  const LlgRhs& f;
+  Vec3 operator()(double t, const Vec3& m) const {
+    return f(t, num::normalized(m));
+  }
+};
+
+}  // namespace
+
 MacrospinSim::MacrospinSim(const LlgParams& params) : params_(params) {
   params_.validate();
-}
-
-Vec3 MacrospinSim::rhs(const Vec3& m) const {
-  const double gamma_prime = util::kGyromagneticRatio * util::kMu0 /
-                             (1.0 + params_.alpha * params_.alpha);
-  // Effective field: uniaxial anisotropy along z plus the applied field.
-  const Vec3 heff{params_.h_applied.x, params_.h_applied.y,
-                  params_.h_applied.z + params_.hk * m.z};
-
-  const Vec3 mxh = cross(m, heff);
-  const Vec3 mxmxh = cross(m, mxh);
-
-  Vec3 dmdt = -gamma_prime * (mxh + params_.alpha * mxmxh);
-
-  const double aj = params_.spin_torque_field();
-  if (aj != 0.0) {
-    const Vec3& p = params_.spin_polarization;
-    const Vec3 mxp = cross(m, p);
-    const Vec3 mxmxp = cross(m, mxp);
-    dmdt += -gamma_prime * aj * (mxmxp - params_.alpha * mxp);
-  }
-  return dmdt;
+  rhs_.gamma_prime = util::kGyromagneticRatio * util::kMu0 /
+                     (1.0 + params_.alpha * params_.alpha);
+  rhs_.alpha = params_.alpha;
+  rhs_.hk = params_.hk;
+  rhs_.aj = params_.spin_torque_field();
+  rhs_.h = params_.h_applied;
+  rhs_.p = params_.spin_polarization;
 }
 
 Vec3 MacrospinSim::run(const Vec3& m0, double duration, double dt,
@@ -66,22 +65,47 @@ Vec3 MacrospinSim::run(const Vec3& m0, double duration, double dt,
                "m0 must be a unit vector");
   MRAM_EXPECTS(record_every >= 1, "record_every must be >= 1");
 
+  const ProjectedRhs f{rhs_};
   Vec3 m = m0;
   double t = 0.0;
   std::size_t step = 0;
   if (trajectory) trajectory->push_back({0.0, m});
   while (t < duration) {
     const double h = std::min(dt, duration - t);
-    // RK4 on the deterministic LLG; renormalize to stay on the unit sphere.
-    const Vec3 k1 = rhs(m);
-    const Vec3 k2 = rhs(num::normalized(m + 0.5 * h * k1));
-    const Vec3 k3 = rhs(num::normalized(m + 0.5 * h * k2));
-    const Vec3 k4 = rhs(num::normalized(m + h * k3));
-    m = num::normalized(m + (h / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4));
+    // m is unit by invariant: evaluate k1 directly, project only the inner
+    // stage inputs (via f).
+    m = num::normalized(num::Rk4Solver::step(f, t, m, h, rhs_(t, m)));
     t += h;
     ++step;
     if (trajectory && step % record_every == 0) trajectory->push_back({t, m});
   }
+  // The loop records only every record_every-th step; always include the end
+  // state so a trajectory never silently drops the final point.
+  if (trajectory && step % record_every != 0) trajectory->push_back({t, m});
+  return m;
+}
+
+Vec3 MacrospinSim::run_adaptive(const Vec3& m0, double duration,
+                                const num::AdaptiveConfig& config,
+                                std::vector<TrajectoryPoint>* trajectory)
+    const {
+  MRAM_EXPECTS(duration >= 0.0, "invalid integration window");
+  MRAM_EXPECTS(std::abs(num::norm(m0) - 1.0) < 1e-6,
+               "m0 must be a unit vector");
+
+  const ProjectedRhs f{rhs_};
+  if (trajectory) trajectory->push_back({0.0, m0});
+  Vec3 m;
+  if (trajectory) {
+    m = num::integrate_rk45(f, m0, 0.0, duration, config,
+                            [&](double t, const Vec3& y) {
+                              trajectory->push_back({t, num::normalized(y)});
+                            });
+  } else {
+    m = num::integrate_rk45(f, m0, 0.0, duration, config);
+  }
+  m = num::normalized(m);
+  if (trajectory) trajectory->back().m = m;
   return m;
 }
 
@@ -105,40 +129,21 @@ SwitchResult MacrospinSim::run_until_switch(const Vec3& m0, double duration,
 
   const double start_sign = (m0.z >= mz_stop) ? 1.0 : -1.0;
   const double sigma = thermal_field_sigma(dt);
+  // Copy the precomputed RHS once; only the thermal field changes per step.
+  LlgRhs stochastic = rhs_;
+  const ProjectedRhs f{stochastic};
   Vec3 m = m0;
   double t = 0.0;
   while (t < duration) {
-    Vec3 h_thermal{};
     if (sigma > 0.0) {
-      h_thermal = {rng.normal(0.0, sigma), rng.normal(0.0, sigma),
-                   rng.normal(0.0, sigma)};
+      stochastic.h = {params_.h_applied.x + rng.normal(0.0, sigma),
+                      params_.h_applied.y + rng.normal(0.0, sigma),
+                      params_.h_applied.z + rng.normal(0.0, sigma)};
     }
-    auto drift = [&](const Vec3& mm) {
-      // Thermal field enters the effective field; reuse rhs by temporarily
-      // shifting the applied field.
-      const double gamma_prime = util::kGyromagneticRatio * util::kMu0 /
-                                 (1.0 + params_.alpha * params_.alpha);
-      const Vec3 heff{params_.h_applied.x + h_thermal.x,
-                      params_.h_applied.y + h_thermal.y,
-                      params_.h_applied.z + h_thermal.z + params_.hk * mm.z};
-      const Vec3 mxh = cross(mm, heff);
-      const Vec3 mxmxh = cross(mm, mxh);
-      Vec3 d = -gamma_prime * (mxh + params_.alpha * mxmxh);
-      const double aj = params_.spin_torque_field();
-      if (aj != 0.0) {
-        const Vec3& p = params_.spin_polarization;
-        const Vec3 mxp = cross(mm, p);
-        const Vec3 mxmxp = cross(mm, mxp);
-        d += -gamma_prime * aj * (mxmxp - params_.alpha * mxp);
-      }
-      return d;
-    };
     // Heun predictor-corrector (Stratonovich-consistent with the frozen
-    // thermal field across the step).
-    const Vec3 k1 = drift(m);
-    const Vec3 pred = num::normalized(m + dt * k1);
-    const Vec3 k2 = drift(pred);
-    m = num::normalized(m + 0.5 * dt * (k1 + k2));
+    // thermal field across the step). m is unit by invariant, so k1 needs
+    // no projection.
+    m = num::normalized(num::HeunSolver::step(f, t, m, dt, stochastic(t, m)));
     t += dt;
     if (start_sign * (m.z - mz_stop) < 0.0) {
       return {true, t};

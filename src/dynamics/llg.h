@@ -1,8 +1,8 @@
 #pragma once
 
-#include <functional>
 #include <vector>
 
+#include "numerics/solvers.h"
 #include "numerics/vec3.h"
 #include "util/rng.h"
 
@@ -47,6 +47,31 @@ struct TrajectoryPoint {
   num::Vec3 m;  ///< unit magnetization
 };
 
+/// Allocation-free LLG right-hand side with all parameter-derived constants
+/// (gamma', a_j) precomputed. Passing this functor to the templated solver
+/// policies in numerics/solvers.h inlines the whole stage evaluation -- no
+/// std::function indirection in the Monte Carlo hot loops. The field `h`
+/// holds applied + stray (+ thermal, for the stochastic paths) [A/m].
+struct LlgRhs {
+  double gamma_prime = 0.0;  ///< gamma mu0 / (1 + alpha^2)
+  double alpha = 0.0;
+  double hk = 0.0;
+  double aj = 0.0;           ///< spin-torque field [A/m]
+  num::Vec3 h{};             ///< non-anisotropy effective field [A/m]
+  num::Vec3 p{0.0, 0.0, 1.0};
+
+  num::Vec3 operator()(double /*t*/, const num::Vec3& m) const {
+    const num::Vec3 heff{h.x, h.y, h.z + hk * m.z};
+    const num::Vec3 mxh = cross(m, heff);
+    num::Vec3 dmdt = -gamma_prime * (mxh + alpha * cross(m, mxh));
+    if (aj != 0.0) {
+      const num::Vec3 mxp = cross(m, p);
+      dmdt += -gamma_prime * aj * (cross(m, mxp) - alpha * mxp);
+    }
+    return dmdt;
+  }
+};
+
 struct SwitchResult {
   bool switched = false;
   double time = 0.0;  ///< time of the mz zero crossing [s]
@@ -59,14 +84,28 @@ class MacrospinSim {
   const LlgParams& params() const { return params_; }
 
   /// Deterministic right-hand side dm/dt at magnetization m.
-  num::Vec3 rhs(const num::Vec3& m) const;
+  num::Vec3 rhs(const num::Vec3& m) const { return rhs_(0.0, m); }
+
+  /// Deterministic RHS functor (precomputed constants), for driving the
+  /// templated solver policies directly.
+  const LlgRhs& rhs_functor() const { return rhs_; }
 
   /// Integrates deterministically (RK4) from m0 for `duration` seconds with
   /// step `dt`, renormalizing |m| every step. Returns the final state;
-  /// optionally records the trajectory every `record_every` steps.
+  /// optionally records the trajectory every `record_every` steps plus the
+  /// final point.
   num::Vec3 run(const num::Vec3& m0, double duration, double dt,
                 std::vector<TrajectoryPoint>* trajectory = nullptr,
                 std::size_t record_every = 1) const;
+
+  /// Integrates deterministically with the adaptive Dormand--Prince 5(4)
+  /// pair instead of fixed RK4 steps; records every accepted step when a
+  /// trajectory is supplied. Useful for long relaxation windows where the
+  /// dynamics stiffen and relax by orders of magnitude.
+  num::Vec3 run_adaptive(const num::Vec3& m0, double duration,
+                         const num::AdaptiveConfig& config = {},
+                         std::vector<TrajectoryPoint>* trajectory =
+                             nullptr) const;
 
   /// Stochastic integration (Heun) with the thermal field enabled when
   /// temperature > 0. Stops early once mz crosses `mz_stop`.
@@ -79,6 +118,7 @@ class MacrospinSim {
 
  private:
   LlgParams params_;
+  LlgRhs rhs_;  ///< deterministic RHS with precomputed gamma', a_j
 };
 
 }  // namespace mram::dyn

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "engine/monte_carlo.h"
 #include "util/constants.h"
 #include "util/error.h"
 #include "util/stats.h"
@@ -38,7 +39,19 @@ SwitchingStats llg_switching_stats(const dev::MtjDevice& device,
                                    SwitchDirection dir, double vp,
                                    double hz_stray, std::size_t trials,
                                    util::Rng& rng, double duration, double dt,
-                                   double temperature) {
+                                   double temperature,
+                                   const eng::RunnerConfig& runner_config) {
+  eng::MonteCarloRunner runner(runner_config);
+  return llg_switching_stats(device, dir, vp, hz_stray, trials, rng, duration,
+                             dt, temperature, runner);
+}
+
+SwitchingStats llg_switching_stats(const dev::MtjDevice& device,
+                                   SwitchDirection dir, double vp,
+                                   double hz_stray, std::size_t trials,
+                                   util::Rng& rng, double duration, double dt,
+                                   double temperature,
+                                   eng::MonteCarloRunner& runner) {
   MRAM_EXPECTS(trials > 0, "need at least one trial");
   const auto llg = llg_from_device(device, dir, vp, hz_stray, temperature);
   const MacrospinSim sim(llg);
@@ -48,29 +61,41 @@ SwitchingStats llg_switching_stats(const dev::MtjDevice& device,
       device.delta(initial_state(dir), hz_stray, temperature);
   const double mz0 = (initial_state(dir) == MtjState::kParallel) ? 1.0 : -1.0;
 
-  util::RunningStats times;
-  std::size_t switched = 0;
-  for (std::size_t k = 0; k < trials; ++k) {
-    const double u = std::max(rng.uniform(), 1e-300);
-    const double theta =
-        std::min(std::sqrt(-std::log(u) / std::max(delta, 1.0)), 0.5);
-    const double phi = rng.uniform(0.0, 2.0 * util::kPi);
-    const Vec3 m0 = num::normalized(
-        {std::sin(theta) * std::cos(phi), std::sin(theta) * std::sin(phi),
-         mz0 * std::cos(theta)});
-    const auto result = sim.run_until_switch(m0, duration, dt, rng);
-    if (result.switched) {
-      ++switched;
-      times.add(result.time);
+  struct Partial {
+    util::RunningStats times;
+    std::size_t switched = 0;
+
+    void merge(const Partial& o) {
+      times.merge(o.times);
+      switched += o.switched;
     }
-  }
+  };
+
+  // Each trial integrates thousands of stochastic LLG steps -- the heaviest
+  // trial body in the repo and the main beneficiary of the parallel runner.
+  const std::uint64_t seed = rng();
+  const auto partial = runner.run<Partial>(
+      trials, seed, [&](util::Rng& trial_rng, std::size_t, Partial& acc) {
+        const double u = std::max(trial_rng.uniform(), 1e-300);
+        const double theta =
+            std::min(std::sqrt(-std::log(u) / std::max(delta, 1.0)), 0.5);
+        const double phi = trial_rng.uniform(0.0, 2.0 * util::kPi);
+        const Vec3 m0 = num::normalized(
+            {std::sin(theta) * std::cos(phi), std::sin(theta) * std::sin(phi),
+             mz0 * std::cos(theta)});
+        const auto result = sim.run_until_switch(m0, duration, dt, trial_rng);
+        if (result.switched) {
+          ++acc.switched;
+          acc.times.add(result.time);
+        }
+      });
 
   SwitchingStats stats;
   stats.trials = trials;
-  stats.switched = switched;
-  if (switched > 0) {
-    stats.mean_time = times.mean();
-    stats.stddev_time = times.stddev();
+  stats.switched = partial.switched;
+  if (partial.switched > 0) {
+    stats.mean_time = partial.times.mean();
+    stats.stddev_time = partial.times.stddev();
   }
   return stats;
 }

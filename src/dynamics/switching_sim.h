@@ -2,6 +2,7 @@
 
 #include "device/mtj_device.h"
 #include "dynamics/llg.h"
+#include "engine/monte_carlo.h"
 
 // Bridges the device model and the LLG solver: builds a MacrospinSim from
 // MtjParams so the same calibrated device can be simulated dynamically, and
@@ -26,12 +27,22 @@ struct SwitchingStats {
 };
 
 /// Monte Carlo switching-time statistics from repeated stochastic LLG runs
-/// starting near the initial state of `dir` (thermal initial tilt).
+/// starting near the initial state of `dir` (thermal initial tilt). Runs on
+/// the engine runner; the overload taking a MonteCarloRunner reuses its
+/// thread pool across calls (sweeps should hoist one runner).
 SwitchingStats llg_switching_stats(const dev::MtjDevice& device,
                                    dev::SwitchDirection dir, double vp,
                                    double hz_stray, std::size_t trials,
                                    util::Rng& rng, double duration = 60e-9,
                                    double dt = 1e-12,
-                                   double temperature = 300.0);
+                                   double temperature = 300.0,
+                                   const eng::RunnerConfig& runner = {});
+
+SwitchingStats llg_switching_stats(const dev::MtjDevice& device,
+                                   dev::SwitchDirection dir, double vp,
+                                   double hz_stray, std::size_t trials,
+                                   util::Rng& rng, double duration,
+                                   double dt, double temperature,
+                                   eng::MonteCarloRunner& runner);
 
 }  // namespace mram::dyn

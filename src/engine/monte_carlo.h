@@ -1,0 +1,116 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "engine/thread_pool.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+// Unified Monte Carlo engine. Every stochastic workload in the repository --
+// WER trials, retention holds, yield sampling, device ensembles, stochastic
+// LLG switching -- is a loop of independent seeded trials folded into an
+// accumulator. MonteCarloRunner factors that loop out once:
+//
+//   * trials are scheduled in fixed-size chunks over a worker thread pool;
+//   * trial i draws its randomness from util::Rng::stream(seed, i), a
+//     counter-based stream independent of which thread runs it;
+//   * each chunk folds into its own partial accumulator, and the partials
+//     are merged in chunk-index order after the pool drains.
+//
+// Because the chunking, the per-trial streams and the merge order depend
+// only on (trials, seed, chunk_size) -- never on the thread count or the
+// scheduling interleaving -- a run is bit-identical on 1 thread and on 64.
+//
+// The accumulator type (`Partial`) must be default-constructible and provide
+//   void merge(const Partial&);
+// Workloads with per-trial setup cost (e.g. building an MramArray) supply a
+// context factory that runs once per chunk; the trial functor receives the
+// chunk-local context by reference.
+
+namespace mram::eng {
+
+struct RunnerConfig {
+  unsigned threads = 0;         ///< worker threads; 0 = hardware concurrency
+  std::size_t chunk_size = 64;  ///< maximum trials per chunk. The runner
+                                ///< subdivides further for small runs (see
+                                ///< effective_chunk) so a 16-trial batch of
+                                ///< heavy trials still spreads over the pool.
+
+  void validate() const {
+    if (chunk_size == 0) {
+      throw util::ConfigError("runner chunk size must be positive");
+    }
+  }
+};
+
+class MonteCarloRunner {
+ public:
+  explicit MonteCarloRunner(RunnerConfig config = {})
+      : config_(config), pool_((config.validate(), config.threads)) {}
+
+  const RunnerConfig& config() const { return config_; }
+
+  /// Total worker threads (pool + caller).
+  unsigned threads() const { return pool_.size(); }
+
+  /// Runs `trials` independent trials and returns the merged accumulator.
+  /// MakeContext: () -> Ctx, invoked once per chunk on the executing worker.
+  /// TrialFn: (Ctx&, util::Rng&, std::size_t trial_index, Partial&) -> void.
+  /// Chunk actually used for `trials`: config.chunk_size capped so that a
+  /// run always splits into ~kTargetChunks pieces. Depends only on
+  /// (trials, chunk_size) -- never on the thread count -- so the
+  /// determinism contract holds while small heavy batches (e.g. 16
+  /// stochastic-LLG trials) still fan out across the pool.
+  std::size_t effective_chunk(std::size_t trials) const {
+    const std::size_t target = (trials + kTargetChunks - 1) / kTargetChunks;
+    return std::max<std::size_t>(std::min(config_.chunk_size, target), 1);
+  }
+
+  template <class Partial, class MakeContext, class TrialFn>
+  Partial run(std::size_t trials, std::uint64_t seed,
+              MakeContext&& make_context, TrialFn&& trial) {
+    MRAM_EXPECTS(trials > 0, "need at least one trial");
+    const std::size_t chunk = effective_chunk(trials);
+    const std::size_t n_chunks = (trials + chunk - 1) / chunk;
+    std::vector<Partial> partials(n_chunks);
+    pool_.for_each(n_chunks, [&](std::size_t ci) {
+      auto context = make_context();
+      Partial acc;
+      const std::size_t lo = ci * chunk;
+      const std::size_t hi = std::min(lo + chunk, trials);
+      for (std::size_t i = lo; i < hi; ++i) {
+        util::Rng rng = util::Rng::stream(seed, i);
+        trial(context, rng, i, acc);
+      }
+      partials[ci] = std::move(acc);
+    });
+    // Deterministic order-independent reduction: chunk order, not completion
+    // order.
+    Partial total;
+    for (auto& p : partials) total.merge(p);
+    return total;
+  }
+
+  /// Context-free convenience overload.
+  /// TrialFn: (util::Rng&, std::size_t trial_index, Partial&) -> void.
+  template <class Partial, class TrialFn>
+  Partial run(std::size_t trials, std::uint64_t seed, TrialFn&& trial) {
+    struct NoContext {};
+    return run<Partial>(
+        trials, seed, [] { return NoContext{}; },
+        [&trial](NoContext&, util::Rng& rng, std::size_t i, Partial& acc) {
+          trial(rng, i, acc);
+        });
+  }
+
+ private:
+  static constexpr std::size_t kTargetChunks = 64;
+
+  RunnerConfig config_;
+  ThreadPool pool_;
+};
+
+}  // namespace mram::eng

@@ -1,0 +1,89 @@
+#include "engine/thread_pool.h"
+
+namespace mram::eng {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  unsigned n = threads ? threads : std::thread::hardware_concurrency();
+  if (n == 0) n = 1;
+  workers_.reserve(n - 1);
+  for (unsigned i = 0; i + 1 < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::drain(Job& job) {
+  for (;;) {
+    const std::size_t i = job.next.fetch_add(1);
+    if (i >= job.count) return;
+    if (!job.has_error.load(std::memory_order_relaxed)) {
+      try {
+        (*job.task)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!job.error) {
+          job.error = std::current_exception();
+          job.has_error.store(true);
+        }
+      }
+    }
+    // Skipped-on-error indices still count toward completion so the caller's
+    // wait below always terminates.
+    if (job.completed.fetch_add(1) + 1 == job.count) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::size_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    if (job) drain(*job);
+  }
+}
+
+void ThreadPool::for_each(std::size_t count,
+                          const std::function<void(std::size_t)>& task) {
+  if (count == 0) return;
+  if (workers_.empty()) {
+    // Serial pool: run inline, no synchronization.
+    for (std::size_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->task = &task;
+  job->count = count;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = job;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  drain(*job);
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return job->completed.load() >= job->count; });
+  if (job->error) {
+    auto e = job->error;
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace mram::eng

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+// Fixed-size worker pool with a single parallel-for primitive. Workers are
+// spawned once and parked on a condition variable between jobs, so repeated
+// Monte Carlo batches (the WER sweeps fire dozens of runs back to back) pay
+// thread creation exactly once. The caller thread participates in every job,
+// so a pool of size N uses N OS threads total, not N+1.
+
+namespace mram::eng {
+
+class ThreadPool {
+ public:
+  /// `threads` = total workers including the caller; 0 picks the hardware
+  /// concurrency (min 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total workers participating in for_each (pool threads + caller).
+  unsigned size() const { return static_cast<unsigned>(workers_.size()) + 1; }
+
+  /// Invokes task(k) for every k in [0, count), distributing indices over
+  /// the pool via an atomic claim counter; blocks until all invocations have
+  /// returned. The first exception thrown by any task is rethrown on the
+  /// caller once the job has drained (remaining indices are skipped). Not
+  /// reentrant: tasks must not call for_each on the same pool.
+  void for_each(std::size_t count,
+                const std::function<void(std::size_t)>& task);
+
+ private:
+  // Each for_each call gets its own Job with its own claim/completion
+  // counters. Workers capture the Job via shared_ptr under the mutex, so a
+  // worker that wakes late for an already-finished job can only fail claims
+  // against that job's exhausted counter -- it can never race the setup of,
+  // or steal indices from, a subsequent job.
+  struct Job {
+    const std::function<void(std::size_t)>* task = nullptr;
+    std::size_t count = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> completed{0};
+    std::atomic<bool> has_error{false};
+    std::exception_ptr error;  ///< guarded by the pool mutex
+  };
+
+  void worker_loop();
+  void drain(Job& job);
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+
+  std::shared_ptr<Job> job_;  ///< current job; guarded by mutex_
+  std::size_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace mram::eng

@@ -39,7 +39,9 @@ MramArray::MramArray(const ArrayConfig& config)
     : config_(validated(config)),
       device_(config.device),
       field_model_(config.device.stack, config.pitch, config.coupling_radius),
-      grid_(config.rows, config.cols, 0) {}
+      grid_(config.rows, config.cols, 0),
+      intra_field_(device_.intra_stray_field()),
+      fixed_map_(field_model_.fixed_field_map(config.rows, config.cols)) {}
 
 void MramArray::load(const arr::DataGrid& grid) {
   MRAM_EXPECTS(grid.rows() == grid_.rows() && grid.cols() == grid_.cols(),
@@ -48,7 +50,9 @@ void MramArray::load(const arr::DataGrid& grid) {
 }
 
 double MramArray::stray_field_at(std::size_t r, std::size_t c) const {
-  return device_.intra_stray_field() + field_model_.field_at(grid_, r, c);
+  MRAM_EXPECTS(r < grid_.rows() && c < grid_.cols(), "cell index out of range");
+  return intra_field_ + fixed_map_[r * grid_.cols() + c] +
+         field_model_.fl_field_at(grid_, r, c);
 }
 
 WriteResult MramArray::write(std::size_t r, std::size_t c, int bit,

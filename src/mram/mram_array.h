@@ -55,7 +55,10 @@ class MramArray {
   void load(const arr::DataGrid& grid);
 
   /// Total out-of-plane stray field at cell (r, c) [A/m] for the current
-  /// data: intra-cell + inter-cell.
+  /// data: intra-cell + inter-cell. The intra-cell field and the
+  /// data-independent (HL+RL, edge-aware) part of the inter-cell field are
+  /// precomputed at construction, so this is a table lookup plus the
+  /// data-dependent kernel convolution.
   double stray_field_at(std::size_t r, std::size_t c) const;
 
   /// Stochastic write of `bit` into (r, c). On success the grid is updated;
@@ -85,6 +88,8 @@ class MramArray {
   dev::MtjDevice device_;
   arr::ArrayFieldModel field_model_;
   arr::DataGrid grid_;
+  double intra_field_ = 0.0;         ///< cached intra-cell stray field [A/m]
+  std::vector<double> fixed_map_;    ///< cached per-cell HL+RL field, row-major
 };
 
 }  // namespace mram::mem

@@ -67,6 +67,53 @@ double max_scrub_interval(const MramArray& array,
   return std::exp(lo);
 }
 
+RetentionEnsembleResult measure_retention_faults(
+    const RetentionEnsembleConfig& config, util::Rng& rng) {
+  MRAM_EXPECTS(config.trials > 0, "need at least one trial");
+  MRAM_EXPECTS(config.hold > 0.0, "hold must be positive");
+  config.array.validate();
+
+  struct Partial {
+    std::size_t faulty = 0;
+    std::size_t flips = 0;
+    util::RunningStats per_hold;
+
+    void merge(const Partial& o) {
+      faulty += o.faulty;
+      flips += o.flips;
+      per_hold.merge(o.per_hold);
+    }
+  };
+
+  const MramArray prototype(config.array);
+  const auto pattern = arr::make_pattern(config.pattern, config.array.rows,
+                                         config.array.cols, rng);
+  const std::uint64_t seed = rng();
+
+  eng::MonteCarloRunner runner(config.runner);
+  const auto partial = runner.run<Partial>(
+      config.trials, seed, [&] { return MramArray(prototype); },
+      [&](MramArray& array, util::Rng& trial_rng, std::size_t, Partial& acc) {
+        array.load(pattern);
+        const std::size_t flips =
+            array.retention_hold(config.hold, trial_rng);
+        acc.faulty += (flips > 0);
+        acc.flips += flips;
+        acc.per_hold.add(static_cast<double>(flips));
+      });
+
+  RetentionEnsembleResult result;
+  result.trials = config.trials;
+  result.faulty_trials = partial.faulty;
+  result.total_flips = partial.flips;
+  result.fault_probability = static_cast<double>(partial.faulty) /
+                             static_cast<double>(config.trials);
+  result.confidence =
+      util::wilson_interval(partial.faulty, config.trials);
+  result.mean_flips = partial.per_hold.mean();
+  return result;
+}
+
 WorstPattern worst_retention_pattern(const ArrayConfig& config,
                                      util::Rng& rng, double horizon) {
   WorstPattern worst;

@@ -1,7 +1,9 @@
 #pragma once
 
 #include "array/data_pattern.h"
+#include "engine/monte_carlo.h"
 #include "mram/mram_array.h"
+#include "util/stats.h"
 
 // Retention analysis at the array level (Fig. 6's device-level conclusion
 // lifted to memories): which cell/state/pattern combination has the lowest
@@ -31,6 +33,30 @@ struct WorstPattern {
 };
 WorstPattern worst_retention_pattern(const ArrayConfig& config,
                                      util::Rng& rng, double horizon = 1.0);
+
+/// Monte Carlo retention-fault ensemble: repeated independent holds of the
+/// same pattern, each trial drawing its own thermal history. Runs on the
+/// engine runner (parallel, bit-identical across thread counts for a fixed
+/// seed).
+struct RetentionEnsembleConfig {
+  ArrayConfig array;
+  arr::PatternKind pattern = arr::PatternKind::kAllZero;
+  double hold = 1.0;          ///< dwell per trial [s]
+  std::size_t trials = 1000;
+  eng::RunnerConfig runner;
+};
+
+struct RetentionEnsembleResult {
+  std::size_t trials = 0;
+  std::size_t faulty_trials = 0;  ///< trials with at least one flip
+  std::size_t total_flips = 0;
+  double fault_probability = 0.0; ///< faulty_trials / trials
+  util::Interval confidence;      ///< 95% Wilson interval on the above
+  double mean_flips = 0.0;        ///< flips per hold
+};
+
+RetentionEnsembleResult measure_retention_faults(
+    const RetentionEnsembleConfig& config, util::Rng& rng);
 
 /// Longest scrub (refresh) interval such that the probability of any cell of
 /// `array` flipping between scrubs stays below `max_fail_probability`, based

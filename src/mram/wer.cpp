@@ -6,36 +6,66 @@ namespace mram::mem {
 
 using dev::SwitchDirection;
 
+namespace {
+
+struct WerPartial {
+  std::size_t errors = 0;
+  util::RunningStats psucc;
+
+  void merge(const WerPartial& o) {
+    errors += o.errors;
+    psucc.merge(o.psucc);
+  }
+};
+
+}  // namespace
+
 WerResult measure_wer(const WerConfig& config, util::Rng& rng) {
+  eng::MonteCarloRunner runner(config.runner);
+  return measure_wer(config, rng, runner);
+}
+
+WerResult measure_wer(const WerConfig& config, util::Rng& rng,
+                      eng::MonteCarloRunner& runner) {
   MRAM_EXPECTS(config.trials > 0, "need at least one trial");
   config.array.validate();
   config.pulse.validate();
 
-  MramArray array(config.array);
-  const std::size_t vr = array.rows() / 2;
-  const std::size_t vc = array.cols() / 2;
+  // Expensive shared setup (kernel cache, fixed-field map) happens once; the
+  // chunks copy the prototype instead of rebuilding it.
+  const MramArray prototype(config.array);
+  const std::size_t vr = prototype.rows() / 2;
+  const std::size_t vc = prototype.cols() / 2;
   const int target_bit = dev::state_to_bit(final_state(config.direction));
   const int initial_bit = dev::state_to_bit(initial_state(config.direction));
 
-  // Build the background once; the victim starts in the initial state.
-  auto background = arr::make_pattern(config.background, array.rows(),
-                                      array.cols(), rng);
+  // Build the background once; the victim starts in the initial state. The
+  // caller's rng seeds both the (possibly random) background and the master
+  // seed of the per-trial streams.
+  auto background = arr::make_pattern(config.background, prototype.rows(),
+                                      prototype.cols(), rng);
   background.set(vr, vc, initial_bit);
+  const std::uint64_t seed = rng();
+
+  const auto partial = runner.run<WerPartial>(
+      config.trials, seed, [&] { return MramArray(prototype); },
+      [&](MramArray& array, util::Rng& trial_rng, std::size_t,
+          WerPartial& acc) {
+        array.load(background);
+        const auto wr =
+            array.write(vr, vc, target_bit, config.pulse, trial_rng);
+        MRAM_ENSURES(wr.attempted, "victim must start in the initial state");
+        acc.psucc.add(wr.success_probability);
+        if (!wr.success) ++acc.errors;
+      });
 
   WerResult result;
   result.trials = config.trials;
-  util::RunningStats psucc;
-  for (std::size_t k = 0; k < config.trials; ++k) {
-    array.load(background);
-    const auto wr = array.write(vr, vc, target_bit, config.pulse, rng);
-    MRAM_ENSURES(wr.attempted, "victim must start in the initial state");
-    psucc.add(wr.success_probability);
-    if (!wr.success) ++result.errors;
-  }
+  result.errors = partial.errors;
   result.wer =
       static_cast<double>(result.errors) / static_cast<double>(result.trials);
   result.confidence = util::wilson_interval(result.errors, result.trials);
-  result.mean_success_probability = psucc.mean();
+  result.mean_success_probability = partial.psucc.mean();
   return result;
 }
 
@@ -44,10 +74,11 @@ std::vector<WerPoint> wer_vs_pulse_width(const WerConfig& config,
                                          util::Rng& rng) {
   std::vector<WerPoint> out;
   out.reserve(widths.size());
+  eng::MonteCarloRunner runner(config.runner);  // one pool for the sweep
   for (double w : widths) {
     WerConfig c = config;
     c.pulse.width = w;
-    out.push_back({w, measure_wer(c, rng)});
+    out.push_back({w, measure_wer(c, rng, runner)});
   }
   return out;
 }

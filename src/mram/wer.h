@@ -1,6 +1,7 @@
 #pragma once
 
 #include "array/data_pattern.h"
+#include "engine/monte_carlo.h"
 #include "mram/mram_array.h"
 #include "util/stats.h"
 
@@ -8,6 +9,10 @@
 // paper's Fig. 5 observation that aggressive pitches need a larger write
 // margin. The victim is the center cell; the background pattern sets the
 // neighborhood (NP8 = 0 corresponds to kAllZero, the worst case for AP->P).
+//
+// Trials run on the engine's MonteCarloRunner: parallel across the
+// configured worker threads, with per-trial counter-based RNG streams, so
+// results for a given seed are bit-identical at any thread count.
 
 namespace mram::mem {
 
@@ -17,6 +22,7 @@ struct WerConfig {
   WritePulse pulse;
   dev::SwitchDirection direction = dev::SwitchDirection::kApToP;
   std::size_t trials = 1000;
+  eng::RunnerConfig runner;  ///< thread pool + chunking for the trial loop
 };
 
 struct WerResult {
@@ -31,6 +37,12 @@ struct WerResult {
 /// direction's initial state, fires one write pulse at the victim, and
 /// counts failures.
 WerResult measure_wer(const WerConfig& config, util::Rng& rng);
+
+/// Same, reusing an existing runner (and its thread pool) instead of
+/// building one from config.runner -- the sweep entry points use this so a
+/// whole sweep pays thread creation once.
+WerResult measure_wer(const WerConfig& config, util::Rng& rng,
+                      eng::MonteCarloRunner& runner);
 
 /// WER vs. pulse width sweep (shared config, widths in seconds).
 struct WerPoint {

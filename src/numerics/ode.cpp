@@ -5,18 +5,11 @@
 namespace mram::num {
 
 Vec3 rk4_step(const Vec3Rhs& f, double t, const Vec3& m, double dt) {
-  const Vec3 k1 = f(t, m);
-  const Vec3 k2 = f(t + 0.5 * dt, m + 0.5 * dt * k1);
-  const Vec3 k3 = f(t + 0.5 * dt, m + 0.5 * dt * k2);
-  const Vec3 k4 = f(t + dt, m + dt * k3);
-  return m + (dt / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4);
+  return Rk4Solver::step(f, t, m, dt);
 }
 
 Vec3 heun_step(const Vec3Rhs& f, double t, const Vec3& m, double dt) {
-  const Vec3 k1 = f(t, m);
-  const Vec3 predictor = m + dt * k1;
-  const Vec3 k2 = f(t + dt, predictor);
-  return m + (0.5 * dt) * (k1 + k2);
+  return HeunSolver::step(f, t, m, dt);
 }
 
 Vec3 integrate_rk4(const Vec3Rhs& f, const Vec3& m0, double t0, double t1,
@@ -24,21 +17,20 @@ Vec3 integrate_rk4(const Vec3Rhs& f, const Vec3& m0, double t0, double t1,
                    const std::function<void(double, const Vec3&)>& observer) {
   MRAM_EXPECTS(dt > 0.0, "integrate_rk4 requires dt > 0");
   MRAM_EXPECTS(t1 >= t0, "integrate_rk4 requires t1 >= t0");
-  Vec3 m = m0;
-  double t = t0;
-  // Tolerate floating-point accumulation: a residual interval smaller than
-  // half a step is folded into the last step instead of spawning a tiny one.
-  while (t1 - t > 0.5 * dt) {
-    const double step = std::min(dt, t1 - t);
-    m = rk4_step(f, t, m, step);
-    t += step;
-    if (observer) observer(t, m);
+  if (observer) {
+    return integrate_fixed<Rk4Solver>(f, m0, t0, t1, dt, observer);
   }
-  if (t1 - t > 1e-9 * dt) {
-    m = rk4_step(f, t, m, t1 - t);
-    if (observer) observer(t1, m);
+  return integrate_fixed<Rk4Solver>(f, m0, t0, t1, dt);
+}
+
+Vec3 integrate_adaptive(const Vec3Rhs& f, const Vec3& m0, double t0, double t1,
+                        const AdaptiveConfig& config,
+                        const std::function<void(double, const Vec3&)>&
+                            observer) {
+  if (observer) {
+    return integrate_rk45(f, m0, t0, t1, config, observer);
   }
-  return m;
+  return integrate_rk45(f, m0, t0, t1, config);
 }
 
 }  // namespace mram::num

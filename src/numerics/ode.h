@@ -2,11 +2,14 @@
 
 #include <functional>
 
+#include "numerics/solvers.h"
 #include "numerics/vec3.h"
 
-// ODE steppers for the macrospin LLG solver (src/dynamics). The state is a
-// single Vec3 (the reduced magnetization m), so the steppers are specialized
-// to Vec3 instead of being generic -- this keeps the hot path allocation-free.
+// Type-erased ODE stepper entry points, kept for callers that want to pass
+// arbitrary lambdas without naming a solver policy. These are thin shims over
+// the templated policies in numerics/solvers.h; hot paths (the LLG Monte
+// Carlo loops) use the policies directly and skip the std::function
+// indirection entirely.
 
 namespace mram::num {
 
@@ -25,5 +28,13 @@ Vec3 heun_step(const Vec3Rhs& f, double t, const Vec3& m, double dt);
 Vec3 integrate_rk4(const Vec3Rhs& f, const Vec3& m0, double t0, double t1,
                    double dt,
                    const std::function<void(double, const Vec3&)>& observer = {});
+
+/// Adaptive Dormand--Prince integration (see integrate_rk45 in solvers.h)
+/// with a type-erased right-hand side and optional per-accepted-step
+/// observer.
+Vec3 integrate_adaptive(const Vec3Rhs& f, const Vec3& m0, double t0, double t1,
+                        const AdaptiveConfig& config = {},
+                        const std::function<void(double, const Vec3&)>&
+                            observer = {});
 
 }  // namespace mram::num

@@ -5,36 +5,58 @@
 
 namespace mram::sim {
 
+namespace {
+
+/// Per-chunk sample collector. Samples append in trial order within a chunk
+/// and chunks merge in index order, so the concatenated sample order -- and
+/// therefore the quantile summary -- is independent of the thread count.
+struct SamplePartial {
+  std::vector<double> hs;
+  std::vector<double> ecd_meas;
+
+  void merge(const SamplePartial& o) {
+    hs.insert(hs.end(), o.hs.begin(), o.hs.end());
+    ecd_meas.insert(ecd_meas.end(), o.ecd_meas.begin(), o.ecd_meas.end());
+  }
+};
+
+}  // namespace
+
 std::vector<EnsembleSummary> characterize_sizes(
     const dev::MtjParams& nominal, const std::vector<double>& ecds,
     const EnsembleConfig& config) {
   MRAM_EXPECTS(config.devices_per_size >= 2,
                "need at least two devices per size");
-  util::Rng rng(config.seed);
+  eng::MonteCarloRunner runner(config.runner);
 
   std::vector<EnsembleSummary> out;
   out.reserve(ecds.size());
-  for (double ecd : ecds) {
+  for (std::size_t s = 0; s < ecds.size(); ++s) {
+    const double ecd = ecds[s];
     dev::MtjParams size_nominal = nominal;
     const double area_ratio =
         (ecd * ecd) / (nominal.stack.ecd * nominal.stack.ecd);
     size_nominal.stack.ecd = ecd;
     size_nominal.delta0 = nominal.delta0 * area_ratio;
 
-    std::vector<double> hs, ecd_meas;
-    hs.reserve(config.devices_per_size);
-    ecd_meas.reserve(config.devices_per_size);
-    for (std::size_t d = 0; d < config.devices_per_size; ++d) {
-      const auto varied = config.variation.sample(size_nominal, rng);
-      const dev::MtjDevice device(varied);
-      hs.push_back(device.intra_stray_field());
-      ecd_meas.push_back(dev::ElectricalModel::ecd_from_rp(
-          varied.electrical.ra, device.electrical().rp()));
-    }
+    // Each size gets its own master seed (a counter-based stream of the
+    // config seed) so adding a size never perturbs the streams of the
+    // others.
+    const std::uint64_t size_seed = util::Rng::stream(config.seed, s)();
+    const auto samples = runner.run<SamplePartial>(
+        config.devices_per_size, size_seed,
+        [&](util::Rng& rng, std::size_t, SamplePartial& acc) {
+          const auto varied = config.variation.sample(size_nominal, rng);
+          const dev::MtjDevice device(varied);
+          acc.hs.push_back(device.intra_stray_field());
+          acc.ecd_meas.push_back(dev::ElectricalModel::ecd_from_rp(
+              varied.electrical.ra, device.electrical().rp()));
+        });
+
     EnsembleSummary summary;
     summary.ecd_nominal = ecd;
-    summary.hs_intra = util::summarize(hs);
-    summary.ecd_measured = util::summarize(ecd_meas);
+    summary.hs_intra = util::summarize(samples.hs);
+    summary.ecd_measured = util::summarize(samples.ecd_meas);
     out.push_back(summary);
   }
   return out;

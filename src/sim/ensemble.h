@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "engine/monte_carlo.h"
 #include "sim/variation.h"
 #include "util/stats.h"
 
@@ -22,6 +23,7 @@ struct EnsembleConfig {
   VariationModel variation;
   std::size_t devices_per_size = 25;
   std::uint64_t seed = 42;
+  eng::RunnerConfig runner;  ///< thread pool + chunking for the device loop
 };
 
 /// For each nominal eCD, samples `devices_per_size` varied devices and

@@ -91,4 +91,14 @@ bool Rng::bernoulli(double p) {
 
 Rng Rng::split() { return Rng(next()); }
 
+Rng Rng::stream(std::uint64_t seed, std::uint64_t index) {
+  // Two rounds of splitmix64 over a golden-ratio combination of seed and
+  // index decorrelate neighboring indices; reseed() then expands the result
+  // into the four xoshiro state words with a third round.
+  std::uint64_t x = seed ^ (0x9e3779b97f4a7c15ULL * (index + 1));
+  const std::uint64_t a = splitmix64(x);
+  const std::uint64_t b = splitmix64(x);
+  return Rng(a ^ rotl(b, 32));
+}
+
 }  // namespace mram::util

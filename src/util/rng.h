@@ -55,6 +55,13 @@ class Rng {
   /// parent's output, sufficient decorrelation for our Monte Carlo usage).
   Rng split();
 
+  /// Counter-based split: the `index`-th independent stream of a master
+  /// `seed`. Unlike split(), this needs no shared parent state, so parallel
+  /// trial i can derive its stream directly from (seed, i) -- the engine's
+  /// Monte Carlo runner uses this to make results independent of the thread
+  /// count and the scheduling order.
+  static Rng stream(std::uint64_t seed, std::uint64_t index);
+
  private:
   std::uint64_t next();
 

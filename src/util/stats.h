@@ -14,6 +14,12 @@ class RunningStats {
  public:
   void add(double x);
 
+  /// Folds another accumulator into this one (Chan et al. pairwise update),
+  /// as if every sample of `other` had been add()ed here. The parallel
+  /// Monte Carlo reduction merges per-chunk accumulators in chunk order, so
+  /// results do not depend on the thread count.
+  void merge(const RunningStats& other);
+
   std::size_t count() const { return n_; }
   bool empty() const { return n_ == 0; }
 
@@ -49,7 +55,8 @@ struct Summary {
   double max = 0.0;
 };
 
-/// Computes a full summary of `xs`. Precondition: !xs.empty().
+/// Computes a full summary of `xs`. Throws ContractViolation (via
+/// MRAM_EXPECTS) on an empty sample -- never undefined behavior.
 Summary summarize(std::span<const double> xs);
 
 /// Linearly interpolated quantile q in [0,1] of `sorted` (ascending).
