@@ -1,66 +1,7 @@
-// Extension: 1T-1R drive asymmetry and sense margin. The access transistor
-// divider means the MTJ never sees the full driver voltage, and the AP
-// state takes a larger share than the P state -- compounding the Ic
-// asymmetry of Eq. 2 into the tw(AP->P) / tw(P->AP) difference the paper
-// notes in Sec. II-A. Also reports the read sense margin under variation.
+// Thin compatibility main for the "drive_1t1r" scenario. The sweep logic
+// moved to src/scenario/ (see `mram_scenarios describe drive_1t1r`); this
+// binary keeps the historical entry point working for scripts and CI.
 
-#include "bench_common.h"
-#include "mram/cell_1t1r.h"
-#include "sim/variation.h"
-#include "util/stats.h"
+#include "scenario/compat.h"
 
-int main() {
-  using namespace mram;
-  using dev::MtjState;
-  using dev::SwitchDirection;
-  using util::s_to_ns;
-
-  bench::print_header("Extension", "1T-1R drive asymmetry and sense margin");
-
-  const auto params = dev::MtjParams::reference_device(35e-9);
-  const mem::AccessTransistor transistor;
-  const mem::Cell1T1R cell(params, transistor);
-  const double hz = cell.device().intra_stray_field();
-
-  util::Table t({"Vdd (V)", "V_mtj AP (V)", "V_mtj P (V)",
-                 "tw AP->P (ns)", "tw P->AP (ns)", "asymmetry"});
-  for (double vdd = 1.0; vdd <= 1.81; vdd += 0.2) {
-    const double v_ap = cell.mtj_voltage(MtjState::kAntiParallel, vdd);
-    const double v_p = cell.mtj_voltage(MtjState::kParallel, vdd);
-    const double tw_apc = cell.write_time(SwitchDirection::kApToP, vdd, hz);
-    const double tw_pap = cell.write_time(SwitchDirection::kPToAp, vdd, hz);
-    t.add_row({util::format_double(vdd, 2), util::format_double(v_ap, 3),
-               util::format_double(v_p, 3),
-               util::format_double(s_to_ns(tw_apc), 2),
-               util::format_double(s_to_ns(tw_pap), 2),
-               util::format_double(tw_apc / tw_pap, 3)});
-  }
-  t.print(std::cout, "write drive through the access transistor");
-
-  // Sense margin under process variation.
-  sim::VariationModel variation;
-  util::Rng rng(2021);
-  util::RunningStats margin_p, margin_ap;
-  for (int k = 0; k < 400; ++k) {
-    const auto varied = variation.sample(params, rng);
-    const mem::Cell1T1R vc(varied, transistor);
-    margin_p.add(vc.sense_margin(MtjState::kParallel, 0.2) * 1e6);
-    margin_ap.add(vc.sense_margin(MtjState::kAntiParallel, 0.2) * 1e6);
-  }
-  util::Table s({"state", "mean margin (uA)", "sigma (uA)",
-                 "margin/sigma"});
-  s.add_row({"P", util::format_double(margin_p.mean(), 3),
-             util::format_double(margin_p.stddev(), 3),
-             util::format_double(margin_p.mean() / margin_p.stddev(), 1)});
-  s.add_row({"AP", util::format_double(margin_ap.mean(), 3),
-             util::format_double(margin_ap.stddev(), 3),
-             util::format_double(margin_ap.mean() / margin_ap.stddev(), 1)});
-  s.print(std::cout, "read sense margin at 0.2 V, 400 varied cells");
-
-  bench::print_footer(
-      "The AP state keeps a larger share of Vdd (higher resistance), which\n"
-      "partially compensates its higher Ic(AP->P); the remaining asymmetry\n"
-      "matches the paper's remark that tw(AP->P) can differ from tw(P->AP)\n"
-      "depending on drive conditions.");
-  return 0;
-}
+int main() { return mram::scn::run_scenario_main("drive_1t1r"); }

@@ -1,49 +1,7 @@
-// Ablation: how much field does the paper's 3x3 window miss? Compares the
-// inter-cell field at an interior victim for neighborhood truncation radii
-// 1 (3x3), 2 (5x5) and 3 (7x7) under the extreme data backgrounds.
+// Thin compatibility main for the "abl_array_size" scenario. The sweep logic
+// moved to src/scenario/ (see `mram_scenarios describe abl_array_size`); this
+// binary keeps the historical entry point working for scripts and CI.
 
-#include "array/array_field.h"
-#include "array/data_pattern.h"
-#include "bench_common.h"
+#include "scenario/compat.h"
 
-int main() {
-  using namespace mram;
-  using util::a_per_m_to_oe;
-
-  bench::print_header("Ablation",
-                      "3x3 vs 5x5 vs 7x7 neighborhood truncation");
-
-  dev::StackGeometry stack;
-  stack.ecd = 35e-9;
-  util::Rng rng(9);
-
-  for (double mult : {1.5, 2.0, 3.0}) {
-    const double pitch = mult * stack.ecd;
-    util::Table t({"background", "r=1 (Oe)", "r=2 (Oe)", "r=3 (Oe)",
-                   "3x3 error vs 7x7 (%)"});
-    for (auto kind : {arr::PatternKind::kAllZero, arr::PatternKind::kAllOne,
-                      arr::PatternKind::kCheckerboard}) {
-      const auto grid = arr::make_pattern(kind, 7, 7, rng);
-      std::vector<double> hz;
-      for (int radius : {1, 2, 3}) {
-        const arr::ArrayFieldModel model(stack, pitch, radius);
-        hz.push_back(model.field_at(grid, 3, 3));
-      }
-      const double err =
-          (hz[2] != 0.0) ? 100.0 * (hz[0] - hz[2]) / hz[2] : 0.0;
-      t.add_row({arr::to_string(kind),
-                 util::format_double(a_per_m_to_oe(hz[0]), 2),
-                 util::format_double(a_per_m_to_oe(hz[1]), 2),
-                 util::format_double(a_per_m_to_oe(hz[2]), 2),
-                 util::format_double(err, 2)});
-    }
-    t.print(std::cout,
-            "pitch = " + util::format_double(mult, 1) + " x eCD");
-  }
-
-  bench::print_footer(
-      "The 3x3 truncation the paper uses captures the bulk of the coupling;\n"
-      "the 5x5 ring adds a second-order correction (1/r^3 decay), which the\n"
-      "memory-level model can include by raising coupling_radius.");
-  return 0;
-}
+int main() { return mram::scn::run_scenario_main("abl_array_size"); }

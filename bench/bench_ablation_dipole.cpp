@@ -1,45 +1,7 @@
-// Ablation: point-dipole vs. full-loop inter-cell field model. Quantifies
-// when the cheap dipole approximation is adequate (large pitch) and how much
-// it errs at the aggressive pitches where coupling actually matters.
+// Thin compatibility main for the "abl_dipole" scenario. The sweep logic
+// moved to src/scenario/ (see `mram_scenarios describe abl_dipole`); this
+// binary keeps the historical entry point working for scripts and CI.
 
-#include "array/intercell.h"
-#include "bench_common.h"
+#include "scenario/compat.h"
 
-int main() {
-  using namespace mram;
-  using util::a_per_m_to_oe;
-
-  bench::print_header("Ablation",
-                      "dipole vs full-loop inter-cell model, eCD = 35 nm");
-
-  dev::StackGeometry stack;
-  stack.ecd = 35e-9;
-
-  util::Table t({"pitch (nm)", "pitch/eCD", "range exact (Oe)",
-                 "range dipole (Oe)", "range error (%)",
-                 "fixed exact (Oe)", "fixed dipole (Oe)"});
-  for (double mult : {1.5, 2.0, 2.5, 3.0, 4.0, 5.0}) {
-    const double pitch = mult * stack.ecd;
-    const arr::InterCellSolver exact(stack, pitch, mag::FieldMethod::kExact);
-    const arr::InterCellSolver dipole(stack, pitch,
-                                      mag::FieldMethod::kDipole);
-    const auto re = exact.field_range();
-    const auto rd = dipole.field_range();
-    const double range_e = re.max - re.min;
-    const double range_d = rd.max - rd.min;
-    t.add_numeric_row({pitch * 1e9, mult, a_per_m_to_oe(range_e),
-                       a_per_m_to_oe(range_d),
-                       100.0 * (range_d - range_e) / range_e,
-                       a_per_m_to_oe(exact.fixed_field()),
-                       a_per_m_to_oe(dipole.fixed_field())},
-                      2);
-  }
-  t.print(std::cout, "NP8 field range and fixed part by method");
-
-  bench::print_footer(
-      "The dipole model is within a few percent beyond ~3x eCD but\n"
-      "overestimates the coupling range at the aggressive pitches the paper\n"
-      "studies -- the full loop geometry (finite radius, layer offsets)\n"
-      "matters exactly where Psi is large.");
-  return 0;
-}
+int main() { return mram::scn::run_scenario_main("abl_dipole"); }

@@ -1,87 +1,7 @@
-// Ablation: the paper models only the out-of-plane (z) stray-field component
-// and argues the in-plane part is marginal (citing [10] for the intra-cell
-// case). This bench quantifies the claim for the inter-cell field.
-//
-// Geometry note: at the victim FL *mid-plane center*, the in-plane component
-// of the neighboring FLs vanishes identically (a coplanar loop's radial
-// field is odd in z), and the RL/HL ring cancels by symmetry. The honest
-// probes are therefore off-plane (FL top surface) and off-center (FL edge),
-// where the in-plane field is maximal.
+// Thin compatibility main for the "abl_inplane" scenario. The sweep logic
+// moved to src/scenario/ (see `mram_scenarios describe abl_inplane`); this
+// binary keeps the historical entry point working for scripts and CI.
 
-#include "array/intercell.h"
-#include "array/neighborhood.h"
-#include "bench_common.h"
-#include "magnetics/stray_field.h"
+#include "scenario/compat.h"
 
-namespace {
-
-// Full inter-cell field at an arbitrary probe point.
-mram::num::Vec3 field_at_probe(const mram::dev::StackGeometry& stack,
-                               double pitch, mram::arr::Np8 np8,
-                               const mram::num::Vec3& probe) {
-  using namespace mram;
-  mag::StrayFieldSolver solver;
-  const auto& offsets = arr::neighbor_offsets();
-  for (int i = 0; i < 8; ++i) {
-    const num::Vec3 cell{offsets[i].dx * pitch, offsets[i].dy * pitch, 0.0};
-    solver.add_source("RL",
-                      stack.source_for(dev::Layer::kReferenceLayer, cell));
-    solver.add_source("HL", stack.source_for(dev::Layer::kHardLayer, cell));
-    solver.add_source("FL",
-                      stack.source_for(dev::Layer::kFreeLayer, cell,
-                                       dev::bit_to_state(np8.bit(i))));
-  }
-  return solver.field_at(probe);
-}
-
-}  // namespace
-
-int main() {
-  using namespace mram;
-  using util::a_per_m_to_oe;
-
-  bench::print_header("Ablation",
-                      "in-plane vs out-of-plane inter-cell field");
-
-  dev::StackGeometry stack;
-  stack.ecd = 35e-9;
-  const double r = stack.radius();
-
-  // Maximally asymmetric pattern: east-side neighbors AP, west-side P
-  // (C3 = east, C5 = NE, C7 = SE -> bits 3, 5, 7).
-  const arr::Np8 asym((1 << 3) | (1 << 5) | (1 << 7));
-
-  const std::vector<std::pair<std::string, num::Vec3>> probes{
-      {"FL center, mid-plane", {0, 0, 0}},
-      {"FL center, top surface", {0, 0, 0.5 * stack.t_free}},
-      {"FL edge (x=0.9R), mid-plane", {0.9 * r, 0, 0}},
-  };
-
-  for (double mult : {1.5, 2.0, 3.0}) {
-    const double pitch = mult * stack.ecd;
-    util::Table t({"probe", "pattern", "Hx (Oe)", "Hz (Oe)",
-                   "|inplane|/|Hz|"});
-    for (const auto& [pname, probe] : probes) {
-      for (const auto& [name, np] :
-           {std::pair<const char*, arr::Np8>{"NP8=255", arr::Np8(255)},
-            {"asym (E half AP)", asym}}) {
-        const auto h = field_at_probe(stack, pitch, np, probe);
-        const double inplane = std::hypot(h.x, h.y);
-        t.add_row({pname, name, util::format_double(a_per_m_to_oe(h.x), 3),
-                   util::format_double(a_per_m_to_oe(h.z), 3),
-                   util::format_double(
-                       std::abs(h.z) > 0 ? inplane / std::abs(h.z) : 0.0,
-                       4)});
-      }
-    }
-    t.print(std::cout, "pitch = " + util::format_double(mult, 1) + " x eCD");
-  }
-
-  bench::print_footer(
-      "At the FL mid-plane center the in-plane component vanishes by\n"
-      "symmetry; off-center and at the FL surfaces it stays a modest\n"
-      "fraction of Hz, and a transverse field perturbs a perpendicular\n"
-      "easy axis only to second order -- supporting the paper's z-only\n"
-      "treatment.");
-  return 0;
-}
+int main() { return mram::scn::run_scenario_main("abl_inplane"); }

@@ -1,45 +1,7 @@
-// Ablation: stochastic macrospin LLG switching times vs. Sun's analytic
-// model (Eqs. 3-4) across the write-voltage range. The analytic model's
-// fitted prefactor absorbs angular averaging; this bench shows the two
-// models agree on the overdrive scaling.
+// Thin compatibility main for the "abl_llg_vs_sun" scenario. The sweep logic
+// moved to src/scenario/ (see `mram_scenarios describe abl_llg_vs_sun`); this
+// binary keeps the historical entry point working for scripts and CI.
 
-#include "bench_common.h"
-#include "dynamics/switching_sim.h"
+#include "scenario/compat.h"
 
-int main() {
-  using namespace mram;
-  using dev::SwitchDirection;
-  using util::s_to_ns;
-
-  bench::print_header("Ablation", "macrospin LLG vs Sun's model (AP->P)");
-
-  const dev::MtjDevice device(dev::MtjParams::reference_device(35e-9));
-  const double intra = device.intra_stray_field();
-  util::Rng rng(71);
-  eng::MonteCarloRunner runner;  // one pool for the whole voltage sweep
-
-  util::Table t({"Vp (V)", "Sun tw (ns)", "LLG mean (ns)", "LLG sigma (ns)",
-                 "switched/trials", "LLG/Sun"});
-  for (double vp : {0.8, 0.9, 1.0, 1.1, 1.2}) {
-    const double tw_sun =
-        device.switching_time(SwitchDirection::kApToP, vp, intra);
-    const auto stats = dyn::llg_switching_stats(
-        device, SwitchDirection::kApToP, vp, intra, 16, rng, 60e-9, 2e-12,
-        300.0, runner);
-    const double mean_ns = s_to_ns(stats.mean_time);
-    t.add_row({util::format_double(vp, 2),
-               util::format_double(s_to_ns(tw_sun), 2),
-               util::format_double(mean_ns, 2),
-               util::format_double(s_to_ns(stats.stddev_time), 2),
-               std::to_string(stats.switched) + "/" +
-                   std::to_string(stats.trials),
-               util::format_double(mean_ns / s_to_ns(tw_sun), 3)});
-  }
-  t.print(std::cout, "switching time by model");
-
-  bench::print_footer(
-      "Both models shorten tw with overdrive (Im = Vp/R - Ic). The LLG/Sun\n"
-      "ratio is roughly voltage-independent, i.e. the fitted kappa is a\n"
-      "constant prefactor, not a hidden voltage dependence.");
-  return 0;
-}
+int main() { return mram::scn::run_scenario_main("abl_llg_vs_sun"); }

@@ -1,58 +1,7 @@
-// Ablation: alternative definitions of the coupling-strength factor. The
-// paper defines Psi as the max variation of Hz_s_inter over NP8 divided by
-// Hc; this bench compares it with a max-|field| definition (which also sees
-// the data-independent HL+RL component) and a standard-deviation definition
-// (typical instead of worst case), and shows how the density-optimal pitch
-// moves under each.
+// Thin compatibility main for the "abl_psi_definition" scenario. The sweep logic
+// moved to src/scenario/ (see `mram_scenarios describe abl_psi_definition`); this
+// binary keeps the historical entry point working for scripts and CI.
 
-#include "array/coupling_factor.h"
-#include "bench_common.h"
-#include "numerics/interp.h"
+#include "scenario/compat.h"
 
-int main() {
-  using namespace mram;
-
-  bench::print_header("Ablation", "Psi definition variants, eCD = 35 nm");
-
-  dev::StackGeometry stack;
-  stack.ecd = 35e-9;
-  const double hc = bench::paper_hc();
-
-  util::Table t({"pitch (nm)", "max-variation (paper) (%)",
-                 "max-|Hz| (%)", "std-dev (%)"});
-  std::vector<double> pitches, v_paper, v_mag, v_std;
-  for (double pitch_nm = 52.5; pitch_nm <= 200.0; pitch_nm += 12.0) {
-    const arr::InterCellSolver solver(stack, pitch_nm * 1e-9);
-    const double p0 = 100.0 * arr::coupling_factor(
-        solver, hc, arr::PsiDefinition::kMaxVariation);
-    const double p1 = 100.0 * arr::coupling_factor(
-        solver, hc, arr::PsiDefinition::kMaxMagnitude);
-    const double p2 = 100.0 * arr::coupling_factor(
-        solver, hc, arr::PsiDefinition::kStdDev);
-    t.add_numeric_row({pitch_nm, p0, p1, p2}, 3);
-    pitches.push_back(pitch_nm);
-    v_paper.push_back(p0);
-    v_mag.push_back(p1);
-    v_std.push_back(p2);
-  }
-  t.print(std::cout, "coupling factor by definition");
-
-  util::Table x({"definition", "pitch @ 2% (nm)"});
-  auto crossing = [&](const std::vector<double>& vals) {
-    const auto c = num::first_crossing(pitches, vals, 2.0);
-    return c.found ? util::format_double(c.x, 1) : std::string("n/a");
-  };
-  x.add_row({"max-variation (paper)", crossing(v_paper)});
-  x.add_row({"max-|Hz|", crossing(v_mag)});
-  x.add_row({"std-dev", crossing(v_std)});
-  x.print(std::cout, "density-optimal pitch by definition");
-
-  bench::print_footer(
-      "The paper's max-variation Psi isolates the data-DEPENDENT coupling\n"
-      "(what the write/retention margins must absorb); max-|Hz| also counts\n"
-      "the static HL+RL offset, which a margin can be centered on, and the\n"
-      "std-dev view halves the apparent strength. The definitions shift the\n"
-      "2 % pitch by tens of nm -- worth stating explicitly, as the paper\n"
-      "does.");
-  return 0;
-}
+int main() { return mram::scn::run_scenario_main("abl_psi_definition"); }

@@ -1,54 +1,7 @@
-// Ablation: Biot--Savart segment count vs. accuracy and runtime, against the
-// elliptic-integral closed form. Justifies both the paper's discretized
-// method (it converges) and our default of the exact evaluator.
+// Thin compatibility main for the "abl_segments" scenario. The sweep logic
+// moved to src/scenario/ (see `mram_scenarios describe abl_segments`); this
+// binary keeps the historical entry point working for scripts and CI.
 
-#include <chrono>
+#include "scenario/compat.h"
 
-#include "bench_common.h"
-#include "magnetics/current_loop.h"
-
-int main() {
-  using namespace mram;
-  using Clock = std::chrono::steady_clock;
-
-  bench::print_header("Ablation", "Biot-Savart discretization convergence");
-
-  const mag::CurrentLoop loop{{0, 0, 0}, 27.5e-9, 1.7648e-3};
-  // Field points representative of both use sites: the device's own FL
-  // (near field) and a neighbor at pitch 90 nm (far field).
-  const std::vector<std::pair<std::string, num::Vec3>> points{
-      {"own FL center (0, 0, 5.2 nm)", {0.0, 0.0, 5.2e-9}},
-      {"neighbor FL (90 nm, 0, 5.2 nm)", {90e-9, 0.0, 5.2e-9}},
-  };
-
-  for (const auto& [name, p] : points) {
-    const num::Vec3 exact = mag::loop_field_exact(loop, p);
-    util::Table t({"segments", "Hz (Oe)", "rel. error", "eval time (us)"});
-    for (int segments : {8, 16, 32, 64, 128, 256, 512, 1024, 4096}) {
-      const auto t0 = Clock::now();
-      num::Vec3 h{};
-      constexpr int kReps = 200;
-      for (int rep = 0; rep < kReps; ++rep) {
-        h = mag::loop_field_biot_savart(loop, p, segments);
-      }
-      const auto t1 = Clock::now();
-      const double us =
-          std::chrono::duration<double, std::micro>(t1 - t0).count() / kReps;
-      const double rel = num::norm(h - exact) / num::norm(exact);
-      t.add_row({std::to_string(segments),
-                 util::format_double(util::a_per_m_to_oe(h.z), 3),
-                 util::format_double(rel, 8), util::format_double(us, 2)});
-    }
-    t.add_row({"exact",
-               util::format_double(util::a_per_m_to_oe(exact.z), 3), "0",
-               "-"});
-    t.print(std::cout, name);
-  }
-
-  bench::print_footer(
-      "O(1/N^2) convergence; the moment-matched polygon removes the\n"
-      "inscribed-radius bias. The closed form costs about as much as a\n"
-      "50-segment sum while being exact -- hence FieldMethod::kExact is the\n"
-      "library default and kBiotSavart reproduces the paper's method.");
-  return 0;
-}
+int main() { return mram::scn::run_scenario_main("abl_segments"); }

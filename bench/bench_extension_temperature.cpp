@@ -1,50 +1,7 @@
-// Extension: temperature dependence of the write metrics. The paper sweeps
-// temperature only for Delta (Fig. 6); the same thermal model (Bloch Ms(T))
-// propagates through Eq. 2 (Ic ~ Ms(T)) and Eqs. 3-4 (tw through Ic and
-// Delta), so the write window widens while retention shrinks as the chip
-// heats -- the classic STT-MRAM trade-off, quantified here at the
-// worst-case neighborhood.
+// Thin compatibility main for the "ext_temperature" scenario. The sweep logic
+// moved to src/scenario/ (see `mram_scenarios describe ext_temperature`); this
+// binary keeps the historical entry point working for scripts and CI.
 
-#include "array/intercell.h"
-#include "bench_common.h"
+#include "scenario/compat.h"
 
-int main() {
-  using namespace mram;
-  using dev::MtjState;
-  using dev::SwitchDirection;
-  using util::a_to_ua;
-  using util::celsius_to_kelvin;
-  using util::s_to_ns;
-
-  bench::print_header("Extension",
-                      "temperature dependence of write metrics (eCD = 35 nm, "
-                      "pitch = 2 x eCD, NP8 = 0)");
-
-  const dev::MtjDevice device(dev::MtjParams::reference_device(35e-9));
-  const arr::InterCellSolver solver(device.params().stack, 2.0 * 35e-9);
-  const double h_worst = device.intra_stray_field() +
-                         solver.field_for(arr::Np8::all_parallel());
-
-  util::Table t({"T (degC)", "Ic0 (uA)", "Ic AP->P worst (uA)",
-                 "tw @0.9V worst (ns)", "Delta_P worst",
-                 "retention tau (s)"});
-  for (double tc = 0.0; tc <= 150.0; tc += 25.0) {
-    const double tk = celsius_to_kelvin(tc);
-    t.add_numeric_row(
-        {tc, a_to_ua(device.ic0(tk)),
-         a_to_ua(device.ic(SwitchDirection::kApToP, h_worst, tk)),
-         s_to_ns(device.switching_time(SwitchDirection::kApToP, 0.9, h_worst,
-                                       tk)),
-         device.delta(MtjState::kParallel, h_worst, tk),
-         device.retention_time(MtjState::kParallel, h_worst, tk)},
-        3);
-  }
-  t.print(std::cout, "write/retention vs temperature");
-
-  bench::print_footer(
-      "Heating lowers Ic (Ms shrinks) and speeds up writes while retention\n"
-      "collapses exponentially -- writes are easiest exactly when storage\n"
-      "is hardest. The paper's Fig. 6 covers the Delta column; the others\n"
-      "follow from the same Bloch scaling through Eqs. 2-4.");
-  return 0;
-}
+int main() { return mram::scn::run_scenario_main("ext_temperature"); }

@@ -1,68 +1,7 @@
-// Fig. 2a: measured R-H hysteresis loop of a representative eCD = 55 nm
-// device, and the parameters extracted from it (Hsw_p, Hsw_n, Hc, Hoffset,
-// R_P, R_AP, TMR, eCD). The paper's protocol: 0 -> +3 kOe -> -3 kOe -> 0,
-// 1000 field points, 20 mV read voltage.
+// Thin compatibility main for the "fig2a_rh_loop" scenario. The sweep logic
+// moved to src/scenario/ (see `mram_scenarios describe fig2a_rh_loop`); this
+// binary keeps the historical entry point working for scripts and CI.
 
-#include "bench_common.h"
-#include "characterization/extraction.h"
-#include "characterization/rh_loop.h"
-#include "util/stats.h"
+#include "scenario/compat.h"
 
-int main() {
-  using namespace mram;
-  using util::a_per_m_to_oe;
-
-  bench::print_header("Fig. 2a", "R-H hysteresis loop, eCD = 55 nm");
-
-  const dev::MtjDevice device(dev::MtjParams::reference_device(55e-9));
-  chr::RhLoopProtocol protocol;  // paper defaults: 3 kOe, 1000 points
-  util::Rng rng(2020);
-
-  // One representative loop, downsampled for display.
-  const auto trace =
-      chr::measure_rh_loop(device, protocol, device.intra_stray_field(), rng);
-  util::Table loop({"H (Oe)", "R (Ohm)", "state"});
-  for (std::size_t i = 0; i < trace.points.size(); i += 64) {
-    const auto& pt = trace.points[i];
-    loop.add_row({util::format_double(a_per_m_to_oe(pt.h_applied), 1),
-                  util::format_double(pt.resistance, 1),
-                  dev::to_string(pt.state)});
-  }
-  loop.print(std::cout, "loop trace (every 64th of 1000 points)");
-
-  // Extraction statistics over repeated cycles.
-  util::RunningStats hswp, hswn, hc, hoffset;
-  chr::LoopExtraction last;
-  for (int cycle = 0; cycle < 20; ++cycle) {
-    const auto t = chr::measure_rh_loop(device, protocol,
-                                        device.intra_stray_field(), rng);
-    const auto ex =
-        chr::extract_loop_parameters(t, device.params().electrical.ra);
-    if (!ex.valid) continue;
-    hswp.add(a_per_m_to_oe(ex.hsw_p));
-    hswn.add(a_per_m_to_oe(ex.hsw_n));
-    hc.add(a_per_m_to_oe(ex.hc));
-    hoffset.add(a_per_m_to_oe(ex.hoffset));
-    last = ex;
-  }
-
-  util::Table ex({"parameter", "value", "paper reference"});
-  ex.add_row({"Hsw_p (Oe)", util::format_double(hswp.mean(), 1), "positive"});
-  ex.add_row({"Hsw_n (Oe)", util::format_double(hswn.mean(), 1), "negative"});
-  ex.add_row({"Hc (Oe)", util::format_double(hc.mean(), 1), "2200 (Sec. IV-B)"});
-  ex.add_row({"Hoffset (Oe)", util::format_double(hoffset.mean(), 1),
-              "> 0 (loop offset to positive side)"});
-  ex.add_row({"Hs_intra (Oe)", util::format_double(-hoffset.mean(), 1),
-              "= -Hoffset (Sec. III)"});
-  ex.add_row({"R_P (Ohm)", util::format_double(last.rp, 1), "RA/A"});
-  ex.add_row({"R_AP (Ohm)", util::format_double(last.rap, 1), "high branch"});
-  ex.add_row({"TMR", util::format_double(last.tmr, 3), "~1.0 near 0 bias"});
-  ex.add_row({"eCD (nm)", util::format_double(last.ecd * 1e9, 2),
-              "55 (Sec. III worked example)"});
-  ex.print(std::cout, "extraction over 20 cycles (means)");
-
-  bench::print_footer(
-      "Loop offset is positive, so Hs_intra = -Hoffset < 0, matching the\n"
-      "paper's Fig. 2a discussion.");
-  return 0;
-}
+int main() { return mram::scn::run_scenario_main("fig2a_rh_loop"); }

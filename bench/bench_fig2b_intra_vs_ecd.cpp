@@ -1,70 +1,7 @@
-// Fig. 2b: Hz_s_intra vs. eCD -- synthetic "measured" data (device ensemble
-// with process variation, each device characterized through the full R-H
-// loop + extraction flow) against the calibrated simulation curve.
+// Thin compatibility main for the "fig2b_intra_vs_ecd" scenario. The sweep logic
+// moved to src/scenario/ (see `mram_scenarios describe fig2b_intra_vs_ecd`); this
+// binary keeps the historical entry point working for scripts and CI.
 
-#include "bench_common.h"
-#include "characterization/calibration.h"
-#include "characterization/extraction.h"
-#include "characterization/rh_loop.h"
-#include "sim/variation.h"
-#include "util/stats.h"
+#include "scenario/compat.h"
 
-int main() {
-  using namespace mram;
-  using util::a_per_m_to_oe;
-
-  bench::print_header("Fig. 2b", "device size dependence of Hz_s_intra");
-
-  const dev::StackGeometry nominal_stack;
-  sim::VariationModel variation;
-  util::Rng rng(20201123);  // arXiv posting date of the paper
-
-  chr::RhLoopProtocol protocol;
-  protocol.points = 400;
-
-  util::Table t({"eCD (nm)", "measured mean (Oe)", "measured sigma (Oe)",
-                 "devices", "simulated (Oe)", "paper anchor (Oe)"});
-
-  const auto anchors = chr::fig2b_anchors();
-  for (const auto& anchor : anchors) {
-    const double ecd = anchor.ecd;
-    // The 20 nm anchor comes from the paper's Fig. 3d simulation; devices
-    // that small were not measured (their Delta is too low for a stable
-    // loop), so the measured columns are blank for it.
-    const bool measurable = ecd >= 30e-9;
-
-    util::RunningStats measured;
-    std::size_t devices = 0;
-    if (measurable) {
-      const auto nominal = dev::MtjParams::reference_device(ecd);
-      for (int d = 0; d < 10; ++d) {
-        const auto varied = variation.sample(nominal, rng);
-        const dev::MtjDevice device(varied);
-        const auto trace = chr::measure_rh_loop(
-            device, protocol, device.intra_stray_field(), rng);
-        const auto ex = chr::extract_loop_parameters(
-            trace, varied.electrical.ra);
-        if (!ex.valid) continue;
-        measured.add(a_per_m_to_oe(ex.hs_intra));
-        ++devices;
-      }
-    }
-
-    const double simulated =
-        a_per_m_to_oe(chr::intra_field_for_ecd(nominal_stack, ecd));
-    t.add_row({util::format_double(ecd * 1e9, 0),
-               measurable ? util::format_double(measured.mean(), 1) : "-",
-               measurable ? util::format_double(measured.stddev(), 1) : "-",
-               std::to_string(devices),
-               util::format_double(simulated, 1),
-               util::format_double(a_per_m_to_oe(anchor.hz_intra), 0)});
-  }
-  t.print(std::cout, "Hz_s_intra vs eCD: ensemble measurement vs simulation");
-
-  bench::print_footer(
-      "Trend check: |Hz_s_intra| grows as eCD shrinks and accelerates below\n"
-      "100 nm, as in the paper. The simulation curve is the shipped\n"
-      "calibration (RMS residual vs anchors ~21 Oe, within the figure's\n"
-      "error bars).");
-  return 0;
-}
+int main() { return mram::scn::run_scenario_main("fig2b_intra_vs_ecd"); }

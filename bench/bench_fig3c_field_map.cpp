@@ -1,45 +1,7 @@
-// Fig. 3c: 3-D stray-field map of the HL + RL of an eCD = 55 nm device.
-// The paper renders a quiver plot; we print the Hz component on horizontal
-// slices through the stack plus the per-layer split at the FL plane.
+// Thin compatibility main for the "fig3c_field_map" scenario. The sweep logic
+// moved to src/scenario/ (see `mram_scenarios describe fig3c_field_map`); this
+// binary keeps the historical entry point working for scripts and CI.
 
-#include "bench_common.h"
-#include "magnetics/field_map.h"
-#include "magnetics/stray_field.h"
+#include "scenario/compat.h"
 
-int main() {
-  using namespace mram;
-  using util::a_per_m_to_oe;
-  using util::nm_to_m;
-
-  bench::print_header("Fig. 3c", "intra-cell stray field map, eCD = 55 nm");
-
-  dev::StackGeometry stack;
-  stack.ecd = 55e-9;
-  mag::StrayFieldSolver solver;
-  const num::Vec3 origin{};
-  solver.add_source("RL", stack.source_for(dev::Layer::kReferenceLayer, origin));
-  solver.add_source("HL", stack.source_for(dev::Layer::kHardLayer, origin));
-
-  // Hz on a line across the device at three heights (FL plane, above, below).
-  for (double z_nm : {0.0, 5.0, 15.0}) {
-    util::Table t({"x (nm)", "Hz total (Oe)", "Hz RL (Oe)", "Hz HL (Oe)",
-                   "|H| (Oe)"});
-    for (double x_nm = -60.0; x_nm <= 60.0; x_nm += 10.0) {
-      const num::Vec3 p{nm_to_m(x_nm), 0.0, nm_to_m(z_nm)};
-      const auto total = solver.field_at(p);
-      const auto rl = solver.named_field_at("RL", p);
-      const auto hl = solver.named_field_at("HL", p);
-      t.add_numeric_row({x_nm, a_per_m_to_oe(total.z), a_per_m_to_oe(rl.z),
-                         a_per_m_to_oe(hl.z), a_per_m_to_oe(num::norm(total))},
-                        1);
-    }
-    t.print(std::cout, "slice at z = " + util::format_double(z_nm, 0) +
-                           " nm above the FL mid-plane");
-  }
-
-  bench::print_footer(
-      "At the FL plane the HL (magnetized -z) dominates inside the pillar\n"
-      "(Hz < 0) and the field reverses sign outside -- the return-flux\n"
-      "pattern the paper's 3-D quiver plot shows.");
-  return 0;
-}
+int main() { return mram::scn::run_scenario_main("fig3c_field_map"); }

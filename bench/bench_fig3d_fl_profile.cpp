@@ -1,54 +1,7 @@
-// Fig. 3d: out-of-plane component Hz_s_intra across the FL cross-section for
-// eCD in {20, 35, 55, 90} nm. Paper reading: center values about -500, -400,
-// -280, -150 Oe, with |Hz| smaller at the edge than at the center.
+// Thin compatibility main for the "fig3d_fl_profile" scenario. The sweep logic
+// moved to src/scenario/ (see `mram_scenarios describe fig3d_fl_profile`); this
+// binary keeps the historical entry point working for scripts and CI.
 
-#include "bench_common.h"
-#include "device/mtj_device.h"
+#include "scenario/compat.h"
 
-int main() {
-  using namespace mram;
-  using util::a_per_m_to_oe;
-
-  bench::print_header("Fig. 3d",
-                      "Hz_s_intra profile over the FL cross-section");
-
-  const std::vector<double> ecds{20e-9, 35e-9, 55e-9, 90e-9};
-  std::vector<dev::MtjDevice> devices;
-  devices.reserve(ecds.size());
-  for (double ecd : ecds) {
-    devices.emplace_back(dev::MtjParams::reference_device(ecd));
-  }
-
-  util::Table t({"radial pos (nm)", "eCD=20nm (Oe)", "eCD=35nm (Oe)",
-                 "eCD=55nm (Oe)", "eCD=90nm (Oe)"});
-  for (double r_nm = -45.0; r_nm <= 45.0; r_nm += 5.0) {
-    std::vector<double> row{r_nm};
-    for (std::size_t i = 0; i < ecds.size(); ++i) {
-      const double radius = 0.5 * ecds[i];
-      const double rho = std::abs(r_nm) * 1e-9;
-      if (rho > radius) {
-        row.push_back(0.0);  // outside this device's FL: not part of Fig. 3d
-      } else {
-        row.push_back(a_per_m_to_oe(devices[i].intra_stray_field_at(rho)));
-      }
-    }
-    t.add_numeric_row(row, 1);
-  }
-  t.print(std::cout, "Hz at the FL plane (0.0 printed outside the FL)");
-
-  util::Table c({"eCD (nm)", "center Hz (Oe)", "edge Hz (Oe)",
-                 "paper center (Oe)"});
-  const std::vector<double> paper{-500.0, -400.0, -280.0, -150.0};
-  for (std::size_t i = 0; i < ecds.size(); ++i) {
-    const double center = a_per_m_to_oe(devices[i].intra_stray_field_at(0.0));
-    const double edge = a_per_m_to_oe(
-        devices[i].intra_stray_field_at(0.45 * ecds[i]));
-    c.add_numeric_row({ecds[i] * 1e9, center, edge, paper[i]}, 1);
-  }
-  c.print(std::cout, "center vs edge");
-
-  bench::print_footer(
-      "|Hz| is smaller at the FL edge than at the center and grows as the\n"
-      "device shrinks -- both observations of the paper's Fig. 3d.");
-  return 0;
-}
+int main() { return mram::scn::run_scenario_main("fig3d_fl_profile"); }

@@ -1,56 +1,7 @@
-// Fig. 4a: Hz_s_inter at the FL of victim C8 for all 25 combinations of the
-// number of 1s in direct neighbors (C0-C3) and diagonal neighbors (C4-C7).
-// Paper values at eCD = 55 nm, pitch = 90 nm: minimum -16 Oe (NP8 = 0),
-// maximum +64 Oe (NP8 = 255), steps ~15 Oe per direct and ~5 Oe per
-// diagonal '1'.
+// Thin compatibility main for the "fig4a_np8" scenario. The sweep logic
+// moved to src/scenario/ (see `mram_scenarios describe fig4a_np8`); this
+// binary keeps the historical entry point working for scripts and CI.
 
-#include "array/intercell.h"
-#include "bench_common.h"
+#include "scenario/compat.h"
 
-int main() {
-  using namespace mram;
-  using util::a_per_m_to_oe;
-
-  bench::print_header("Fig. 4a",
-                      "Hz_s_inter vs neighborhood pattern, eCD = 55 nm, "
-                      "pitch = 90 nm");
-
-  dev::StackGeometry stack;
-  stack.ecd = 55e-9;
-  const arr::InterCellSolver solver(stack, 90e-9);
-
-  util::Table t({"#1s direct \\ diagonal", "0", "1", "2", "3", "4"});
-  for (int d = 0; d <= 4; ++d) {
-    std::vector<std::string> row{std::to_string(d)};
-    for (int g = 0; g <= 4; ++g) {
-      const arr::Np8Class cls{d, g};
-      const double hz = solver.field_for(cls.representative());
-      row.push_back(util::format_double(a_per_m_to_oe(hz), 1));
-    }
-    t.add_row(row);
-  }
-  t.print(std::cout, "Hz_s_inter (Oe) for the 25 symmetry classes");
-
-  const auto range = solver.field_range();
-  util::Table s({"quantity", "model (Oe)", "paper (Oe)"});
-  s.add_row({"minimum (NP8 = 0)",
-             util::format_double(a_per_m_to_oe(range.min), 1), "-16"});
-  s.add_row({"maximum (NP8 = 255)",
-             util::format_double(a_per_m_to_oe(range.max), 1), "+64"});
-  s.add_row({"max variation",
-             util::format_double(a_per_m_to_oe(range.max - range.min), 1),
-             "80"});
-  s.add_row({"step per direct '1'",
-             util::format_double(a_per_m_to_oe(solver.direct_step()), 2),
-             "15"});
-  s.add_row({"step per diagonal '1'",
-             util::format_double(a_per_m_to_oe(solver.diagonal_step()), 2),
-             "5"});
-  s.add_row({"fixed part (HL+RL of aggressors)",
-             util::format_double(a_per_m_to_oe(solver.fixed_field()), 1),
-             "+24 (midpoint of -16..+64)"});
-  s.print(std::cout, "summary vs paper");
-
-  bench::print_footer("");
-  return 0;
-}
+int main() { return mram::scn::run_scenario_main("fig4a_np8"); }

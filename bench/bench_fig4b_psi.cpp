@@ -1,55 +1,7 @@
-// Fig. 4b: inter-cell coupling factor Psi vs. array pitch for eCD in
-// {20, 35, 55} nm (pitch from 1.5x eCD to 200 nm). The paper marks Psi = 2 %
-// as the density-optimal threshold; for eCD = 35 nm that corresponds to a
-// pitch of about 80 nm.
+// Thin compatibility main for the "fig4b_psi" scenario. The sweep logic
+// moved to src/scenario/ (see `mram_scenarios describe fig4b_psi`); this
+// binary keeps the historical entry point working for scripts and CI.
 
-#include "array/coupling_factor.h"
-#include "bench_common.h"
-#include "numerics/interp.h"
+#include "scenario/compat.h"
 
-int main() {
-  using namespace mram;
-
-  bench::print_header("Fig. 4b", "Psi vs pitch for three device sizes");
-
-  const double hc = bench::paper_hc();
-  const std::vector<double> ecds{20e-9, 35e-9, 55e-9};
-
-  util::Table t({"pitch (nm)", "Psi eCD=20nm (%)", "Psi eCD=35nm (%)",
-                 "Psi eCD=55nm (%)"});
-  for (double pitch_nm = 30.0; pitch_nm <= 200.0; pitch_nm += 10.0) {
-    std::vector<std::string> row{util::format_double(pitch_nm, 0)};
-    for (double ecd : ecds) {
-      const double pitch = pitch_nm * 1e-9;
-      if (pitch < 1.5 * ecd) {
-        row.push_back("-");  // below the manufacturable 1.5x eCD limit [7]
-      } else {
-        dev::StackGeometry g;
-        g.ecd = ecd;
-        row.push_back(util::format_double(
-            100.0 * arr::coupling_factor(g, pitch, hc), 2));
-      }
-    }
-    t.add_row(row);
-  }
-  t.print(std::cout, "coupling factor (percent)");
-
-  util::Table x({"eCD (nm)", "pitch @ Psi=2% (nm)", "pitch / eCD",
-                 "paper note"});
-  for (double ecd : ecds) {
-    dev::StackGeometry g;
-    g.ecd = ecd;
-    const double pitch =
-        arr::max_density_pitch(g, 0.02, hc, 1.5 * ecd, 200e-9);
-    x.add_row({util::format_double(ecd * 1e9, 0),
-               util::format_double(pitch * 1e9, 1),
-               util::format_double(pitch / ecd, 2),
-               ecd == 35e-9 ? "~80 nm for eCD = 35 nm" : ""});
-  }
-  x.print(std::cout, "density-optimal pitch (Psi = 2 % threshold)");
-
-  bench::print_footer(
-      "Psi ~ 0 at pitch = 200 nm for all sizes, rises gradually and then\n"
-      "exponentially as the pitch shrinks -- the Fig. 4b shape.");
-  return 0;
-}
+int main() { return mram::scn::run_scenario_main("fig4b_psi"); }

@@ -1,67 +1,7 @@
-// Fig. 4c: critical switching current Ic vs. array pitch for both switching
-// directions under (a) no stray field, (b) intra-cell only, and (c) intra +
-// inter-cell at NP8 = 0 and NP8 = 255. eCD = 35 nm.
-// Paper values: intrinsic Ic = 57.2 uA; intra-cell shift to 61.7 / 52.8 uA
-// (+/- 7 %); pattern-dependent spread grows as the pitch shrinks and is
-// marginal at pitch ~ 80 nm (Psi = 2 %).
+// Thin compatibility main for the "fig4c_ic" scenario. The sweep logic
+// moved to src/scenario/ (see `mram_scenarios describe fig4c_ic`); this
+// binary keeps the historical entry point working for scripts and CI.
 
-#include "array/coupling_factor.h"
-#include "array/intercell.h"
-#include "bench_common.h"
+#include "scenario/compat.h"
 
-int main() {
-  using namespace mram;
-  using dev::SwitchDirection;
-  using util::a_to_ua;
-
-  bench::print_header("Fig. 4c", "Ic vs pitch under different stray fields");
-
-  const dev::MtjDevice device(dev::MtjParams::reference_device(35e-9));
-  const double intra = device.intra_stray_field();
-
-  util::Table t({"pitch (nm)", "Psi (%)",
-                 "AP->P @NP8=0 (uA)", "AP->P intra (uA)",
-                 "AP->P @NP8=255 (uA)",
-                 "P->AP @NP8=255 (uA)", "P->AP intra (uA)",
-                 "P->AP @NP8=0 (uA)"});
-
-  for (double pitch_nm = 52.5; pitch_nm <= 200.0; pitch_nm += 10.0) {
-    const double pitch = pitch_nm * 1e-9;
-    const arr::InterCellSolver solver(device.params().stack, pitch);
-    const double h0 = intra + solver.field_for(arr::Np8::all_parallel());
-    const double h255 =
-        intra + solver.field_for(arr::Np8::all_antiparallel());
-    const double psi =
-        100.0 * arr::coupling_factor(solver, bench::paper_hc());
-
-    t.add_numeric_row(
-        {pitch_nm, psi,
-         a_to_ua(device.ic(SwitchDirection::kApToP, h0)),
-         a_to_ua(device.ic(SwitchDirection::kApToP, intra)),
-         a_to_ua(device.ic(SwitchDirection::kApToP, h255)),
-         a_to_ua(device.ic(SwitchDirection::kPToAp, h255)),
-         a_to_ua(device.ic(SwitchDirection::kPToAp, intra)),
-         a_to_ua(device.ic(SwitchDirection::kPToAp, h0))},
-        2);
-  }
-  t.print(std::cout, "Ic series (eCD = 35 nm)");
-
-  util::Table s({"quantity", "model", "paper"});
-  s.add_row({"intrinsic Ic (uA)",
-             util::format_double(a_to_ua(device.ic0()), 2), "57.2"});
-  s.add_row({"Ic(AP->P) intra (uA)",
-             util::format_double(
-                 a_to_ua(device.ic(SwitchDirection::kApToP, intra)), 2),
-             "61.7 (+7 %)"});
-  s.add_row({"Ic(P->AP) intra (uA)",
-             util::format_double(
-                 a_to_ua(device.ic(SwitchDirection::kPToAp, intra)), 2),
-             "52.8 (-7 %)"});
-  s.print(std::cout, "anchors");
-
-  bench::print_footer(
-      "Ic(AP->P) rises above the intra-only line at small pitch for NP8 = 0\n"
-      "and falls below it for NP8 = 255 (and mirrored for P->AP), with the\n"
-      "spread vanishing by 200 nm -- the Fig. 4c crossover structure.");
-  return 0;
-}
+int main() { return mram::scn::run_scenario_main("fig4c_ic"); }

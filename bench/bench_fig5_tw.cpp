@@ -1,58 +1,7 @@
-// Fig. 5a-c: voltage dependence of the average switching time tw(AP->P) for
-// eCD = 35 nm at pitch = 3x, 2x and 1.5x eCD, under (a) no stray field,
-// (b) intra-cell only, and (c) intra + inter at NP8 = 0 / NP8 = 255.
-// Paper observations: tw ~ 25 ns at 0.7 V down to ~5 ns at 1.2 V; the stray
-// field slows AP->P; the NP8 spread only becomes visible at 1.5x eCD
-// (Psi = 7 %), ~4 ns at 0.72 V in the paper's reading (our Eq. 3 evaluation
-// gives ~1.4 ns; see EXPERIMENTS.md).
+// Thin compatibility main for the "fig5_tw" scenario. The sweep logic
+// moved to src/scenario/ (see `mram_scenarios describe fig5_tw`); this
+// binary keeps the historical entry point working for scripts and CI.
 
-#include "array/coupling_factor.h"
-#include "array/intercell.h"
-#include "bench_common.h"
+#include "scenario/compat.h"
 
-int main() {
-  using namespace mram;
-  using dev::SwitchDirection;
-  using util::s_to_ns;
-
-  bench::print_header("Fig. 5a-c", "tw(AP->P) vs Vp at three pitches");
-
-  const dev::MtjDevice device(dev::MtjParams::reference_device(35e-9));
-  const double intra = device.intra_stray_field();
-  const double ecd = device.params().stack.ecd;
-
-  for (double mult : {3.0, 2.0, 1.5}) {
-    const double pitch = mult * ecd;
-    const arr::InterCellSolver solver(device.params().stack, pitch);
-    const double h0 = intra + solver.field_for(arr::Np8::all_parallel());
-    const double h255 =
-        intra + solver.field_for(arr::Np8::all_antiparallel());
-    const double psi =
-        100.0 * arr::coupling_factor(solver, bench::paper_hc());
-
-    util::Table t({"Vp (V)", "Hz=0 (ns)", "Hz=intra (ns)",
-                   "NP8=0 (ns)", "NP8=255 (ns)", "NP8 gap (ns)"});
-    for (double vp = 0.70; vp <= 1.205; vp += 0.05) {
-      const double t_free = device.switching_time(SwitchDirection::kApToP,
-                                                  vp, 0.0);
-      const double t_intra =
-          device.switching_time(SwitchDirection::kApToP, vp, intra);
-      const double t0 = device.switching_time(SwitchDirection::kApToP, vp,
-                                              h0);
-      const double t255 = device.switching_time(SwitchDirection::kApToP, vp,
-                                                h255);
-      t.add_numeric_row({vp, s_to_ns(t_free), s_to_ns(t_intra), s_to_ns(t0),
-                         s_to_ns(t255), s_to_ns(t0 - t255)},
-                        2);
-    }
-    t.print(std::cout, "pitch = " + util::format_double(mult, 1) +
-                           " x eCD (Psi = " + util::format_double(psi, 1) +
-                           " %)");
-  }
-
-  bench::print_footer(
-      "Shape checks: stray field slows AP->P everywhere; the impact shrinks\n"
-      "with voltage; the NP8 = 0 vs 255 gap is negligible at 3x/2x eCD and\n"
-      "visible at 1.5x eCD, largest at low Vp -- all as in Fig. 5.");
-  return 0;
-}
+int main() { return mram::scn::run_scenario_main("fig5_tw"); }

@@ -1,54 +1,7 @@
-// Fig. 6a: thermal stability factor Delta vs. operating temperature for
-// eCD = 35 nm at pitch = 2x eCD (Psi ~ 2-3 %): intrinsic Delta0, intra-only
-// Delta_P / Delta_AP, and the NP8 = 0 / 255 pattern extremes.
-// Paper observations: the intra-cell field splits the states by ~30 %; the
-// smallest Delta is P state with NP8 = 0.
+// Thin compatibility main for the "fig6a_delta_temp" scenario. The sweep logic
+// moved to src/scenario/ (see `mram_scenarios describe fig6a_delta_temp`); this
+// binary keeps the historical entry point working for scripts and CI.
 
-#include "array/intercell.h"
-#include "bench_common.h"
+#include "scenario/compat.h"
 
-int main() {
-  using namespace mram;
-  using dev::MtjState;
-  using util::celsius_to_kelvin;
-
-  bench::print_header("Fig. 6a", "Delta vs temperature at pitch = 2 x eCD");
-
-  const dev::MtjDevice device(dev::MtjParams::reference_device(35e-9));
-  const double intra = device.intra_stray_field();
-  const arr::InterCellSolver solver(device.params().stack, 2.0 * 35e-9);
-  const double h0 = intra + solver.field_for(arr::Np8::all_parallel());
-  const double h255 = intra + solver.field_for(arr::Np8::all_antiparallel());
-
-  util::Table t({"T (degC)", "Delta0 (Hz=0)", "AP intra", "AP NP8=0",
-                 "AP NP8=255", "P intra", "P NP8=255", "P NP8=0"});
-  for (double tc = 0.0; tc <= 150.0; tc += 15.0) {
-    const double tk = celsius_to_kelvin(tc);
-    t.add_numeric_row(
-        {tc, device.delta(MtjState::kParallel, 0.0, tk),
-         device.delta(MtjState::kAntiParallel, intra, tk),
-         device.delta(MtjState::kAntiParallel, h0, tk),
-         device.delta(MtjState::kAntiParallel, h255, tk),
-         device.delta(MtjState::kParallel, intra, tk),
-         device.delta(MtjState::kParallel, h255, tk),
-         device.delta(MtjState::kParallel, h0, tk)},
-        2);
-  }
-  t.print(std::cout, "thermal stability factor");
-
-  const double dp = device.delta(MtjState::kParallel, intra);
-  const double dap = device.delta(MtjState::kAntiParallel, intra);
-  util::Table s({"quantity", "model", "paper"});
-  s.add_row({"Delta0 at 25 degC", util::format_double(45.5, 1), "45.5"});
-  s.add_row({"state split (dAP-dP)/dAP at RT",
-             util::format_double(100.0 * (dap - dp) / dap, 1) + " %",
-             "~30 %"});
-  s.add_row({"worst case", "P state, NP8 = 0", "P state, NP8 = 0"});
-  s.print(std::cout, "anchors");
-
-  bench::print_footer(
-      "Ordering matches Fig. 6a: AP curves on top (stabilized by the\n"
-      "negative stray field), P curves at the bottom with P(NP8 = 0) the\n"
-      "most vulnerable to retention faults.");
-  return 0;
-}
+int main() { return mram::scn::run_scenario_main("fig6a_delta_temp"); }

@@ -1,56 +1,7 @@
-// Fig. 6b: worst-case thermal stability Delta_P(NP8 = 0) vs. temperature for
-// pitch = 3x, 2x and 1.5x eCD (eCD = 35 nm). Paper observation: only a
-// marginal degradation when the pitch shrinks from 2x to 1.5x eCD.
+// Thin compatibility main for the "fig6b_delta_worst" scenario. The sweep logic
+// moved to src/scenario/ (see `mram_scenarios describe fig6b_delta_worst`); this
+// binary keeps the historical entry point working for scripts and CI.
 
-#include "array/intercell.h"
-#include "bench_common.h"
+#include "scenario/compat.h"
 
-int main() {
-  using namespace mram;
-  using dev::MtjState;
-  using util::celsius_to_kelvin;
-
-  bench::print_header("Fig. 6b",
-                      "worst-case Delta_P(NP8=0) vs temperature by pitch");
-
-  const dev::MtjDevice device(dev::MtjParams::reference_device(35e-9));
-  const double intra = device.intra_stray_field();
-  const double ecd = device.params().stack.ecd;
-
-  std::vector<double> h_worst;
-  for (double mult : {3.0, 2.0, 1.5}) {
-    const arr::InterCellSolver solver(device.params().stack, mult * ecd);
-    h_worst.push_back(intra + solver.field_for(arr::Np8::all_parallel()));
-  }
-
-  util::Table t({"T (degC)", "pitch=3xeCD", "pitch=2xeCD", "pitch=1.5xeCD",
-                 "3x->1.5x loss (%)"});
-  for (double tc = 0.0; tc <= 150.0; tc += 15.0) {
-    const double tk = celsius_to_kelvin(tc);
-    const double d3 = device.delta(MtjState::kParallel, h_worst[0], tk);
-    const double d2 = device.delta(MtjState::kParallel, h_worst[1], tk);
-    const double d15 = device.delta(MtjState::kParallel, h_worst[2], tk);
-    t.add_numeric_row({tc, d3, d2, d15, 100.0 * (d3 - d15) / d3}, 2);
-  }
-  t.print(std::cout, "Delta_P(NP8=0)");
-
-  // Retention-time view of the same data at 85 degC (a common spec point).
-  const double tk85 = celsius_to_kelvin(85.0);
-  util::Table r({"pitch", "Delta_P(NP8=0)", "retention tau (s)"});
-  const std::vector<std::string> names{"3 x eCD", "2 x eCD", "1.5 x eCD"};
-  for (std::size_t i = 0; i < names.size(); ++i) {
-    r.add_row({names[i],
-               util::format_double(
-                   device.delta(MtjState::kParallel, h_worst[i], tk85), 2),
-               util::format_double(
-                   device.retention_time(MtjState::kParallel, h_worst[i],
-                                         tk85),
-                   1)});
-  }
-  r.print(std::cout, "worst-case retention at 85 degC");
-
-  bench::print_footer(
-      "The 2x -> 1.5x eCD degradation is a few percent of Delta (a 'marginal\n"
-      "degradation of the data retention time', as the paper concludes).");
-  return 0;
-}
+int main() { return mram::scn::run_scenario_main("fig6b_delta_worst"); }

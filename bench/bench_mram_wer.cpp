@@ -1,16 +1,16 @@
-// Memory-level consequence of Fig. 5: write error rate vs. pulse width at
-// the aggressive pitch (1.5x eCD) for different data backgrounds. The paper
-// argues a larger write margin is needed to cover the worst case (NP8 = 0);
-// this bench quantifies that margin in WER terms.
-//
-// The trial loop runs on the engine's MonteCarloRunner; the scaling section
-// at the end measures the parallel speedup on this machine and checks that
-// the statistics are bit-identical across thread counts for a fixed seed.
+// Memory-level consequence of Fig. 5: the WER table now lives in the
+// "wer_pulse_width" scenario (see src/scenario/); this binary runs it and
+// keeps the engine-scaling section CI exercises: it measures the parallel
+// speedup of the MonteCarloRunner on this machine and checks that the
+// statistics are bit-identical across thread counts for a fixed seed.
 
 #include <chrono>
+#include <iostream>
 
-#include "bench_common.h"
 #include "mram/wer.h"
+#include "scenario/compat.h"
+#include "util/table.h"
+#include "util/units.h"
 
 namespace {
 
@@ -32,50 +32,23 @@ double seconds_for(const mram::mem::WerConfig& cfg, unsigned threads,
 
 int main() {
   using namespace mram;
-  using util::s_to_ns;
 
-  bench::print_header("Memory", "write error rate vs pulse width (AP->P)");
-
-  mem::WerConfig cfg;
-  cfg.array.device = dev::MtjParams::reference_device(35e-9);
-  cfg.array.pitch = 1.5 * 35e-9;
-  cfg.array.rows = cfg.array.cols = 5;
-  cfg.pulse.voltage = 0.9;
-  cfg.direction = dev::SwitchDirection::kApToP;
-  cfg.trials = 800;
-
-  // Reference switching time with intra-only field, for scale.
-  const dev::MtjDevice device(cfg.array.device);
-  const double tw_intra = device.switching_time(
-      dev::SwitchDirection::kApToP, cfg.pulse.voltage,
-      device.intra_stray_field());
-
-  util::Rng rng(123);
-  eng::MonteCarloRunner table_runner(cfg.runner);  // one pool for the table
-  util::Table t({"pulse (ns)", "WER all-0 (worst)", "WER checkerboard",
-                 "WER all-1 (best)"});
-  for (double frac : {0.7, 0.85, 1.0, 1.15, 1.3, 1.6, 2.0}) {
-    const double width = frac * tw_intra;
-    std::vector<std::string> row{util::format_double(s_to_ns(width), 2)};
-    for (auto kind : {arr::PatternKind::kAllZero,
-                      arr::PatternKind::kCheckerboard,
-                      arr::PatternKind::kAllOne}) {
-      auto c = cfg;
-      c.background = kind;
-      c.pulse.width = width;
-      const auto result = mem::measure_wer(c, rng, table_runner);
-      row.push_back(util::format_double(result.wer, 4));
-    }
-    t.add_row(row);
+  if (const int rc = scn::run_scenario_main("wer_pulse_width"); rc != 0) {
+    return rc;
   }
-  t.print(std::cout,
-          "WER at Vp = 0.9 V, pitch = 1.5 x eCD (tw_intra = " +
-              util::format_double(s_to_ns(tw_intra), 2) + " ns)");
 
   // --- engine scaling ------------------------------------------------------
 
-  mem::WerConfig scale_cfg = cfg;
-  scale_cfg.pulse.width = tw_intra;
+  mem::WerConfig scale_cfg;
+  scale_cfg.array.device = dev::MtjParams::reference_device(35e-9);
+  scale_cfg.array.pitch = 1.5 * 35e-9;
+  scale_cfg.array.rows = scale_cfg.array.cols = 5;
+  scale_cfg.pulse.voltage = 0.9;
+  scale_cfg.direction = dev::SwitchDirection::kApToP;
+  const dev::MtjDevice device(scale_cfg.array.device);
+  scale_cfg.pulse.width = device.switching_time(
+      dev::SwitchDirection::kApToP, scale_cfg.pulse.voltage,
+      device.intra_stray_field());
   scale_cfg.trials = 20000;
 
   util::Table scaling({"threads", "time (s)", "speedup", "WER"});
@@ -99,10 +72,5 @@ int main() {
                                " seeded trials");
   std::cout << "bit-identical statistics across thread counts: "
             << (identical ? "yes" : "NO -- DETERMINISM BUG") << "\n";
-
-  bench::print_footer(
-      "The all-0 background (NP8 = 0 at the victim) needs the longest pulse\n"
-      "for a given WER target -- the write-margin conclusion of Fig. 5c at\n"
-      "the memory level.");
   return identical ? 0 : 1;
 }

@@ -1,51 +1,7 @@
-// Write-verify-write vs. single-pulse writes at the aggressive pitch: the
-// reliability/latency/energy trade the paper's reference [4] (Intel 22FFL)
-// uses in production, evaluated on the worst-case NP8 = 0 victim.
+// Thin compatibility main for the "wvw_compare" scenario. The sweep logic
+// moved to src/scenario/ (see `mram_scenarios describe wvw_compare`); this
+// binary keeps the historical entry point working for scripts and CI.
 
-#include "bench_common.h"
-#include "mram/wvw.h"
+#include "scenario/compat.h"
 
-int main() {
-  using namespace mram;
-  using util::s_to_ns;
-
-  bench::print_header("Memory", "write-verify-write vs single pulse");
-
-  mem::ArrayConfig array;
-  array.device = dev::MtjParams::reference_device(35e-9);
-  array.pitch = 1.5 * 35e-9;
-  array.rows = array.cols = 5;
-
-  const dev::MtjDevice device(array.device);
-  const double tw = device.switching_time(dev::SwitchDirection::kApToP, 0.9,
-                                          device.intra_stray_field());
-
-  util::Rng rng(404);
-  util::Table t({"pulse (ns)", "single WER", "WVW WER (<=4 tries)",
-                 "mean tries", "mean latency (ns)", "energy vs single"});
-  for (double frac : {0.8, 1.0, 1.2, 1.5}) {
-    mem::WvwConfig cfg;
-    cfg.pulse.voltage = 0.9;
-    cfg.pulse.width = frac * tw;
-    cfg.max_attempts = 4;
-    const auto cmp = mem::compare_write_schemes(array, cfg, 1500, rng);
-    t.add_row({util::format_double(s_to_ns(cfg.pulse.width), 2),
-               util::format_double(cmp.single_pulse_wer, 4),
-               util::format_double(cmp.wvw_wer, 4),
-               util::format_double(cmp.wvw_mean_attempts, 2),
-               util::format_double(s_to_ns(cmp.wvw_mean_latency), 2),
-               util::format_double(cmp.wvw_mean_energy / cmp.single_energy,
-                                   2) + "x"});
-  }
-  t.print(std::cout,
-          "worst-case victim (NP8 = 0, AP->P) at pitch = 1.5 x eCD, "
-          "Vp = 0.9 V");
-
-  bench::print_footer(
-      "WVW converts the pattern-dependent WER of marginal pulses into a\n"
-      "latency/energy tail: with a pulse near tw, four attempts push the\n"
-      "residual WER down by orders of magnitude at <2x average energy --\n"
-      "why [4] ships the scheme and why the paper's worst-case analysis\n"
-      "sets the verify budget.");
-  return 0;
-}
+int main() { return mram::scn::run_scenario_main("wvw_compare"); }

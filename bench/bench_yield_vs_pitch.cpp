@@ -1,43 +1,7 @@
-// Parametric yield vs. array pitch under process variation: the fraction of
-// devices meeting a write spec (tw limit at 0.9 V) and a retention spec
-// (Delta at 85 degC) at their worst-case neighborhood. Extends the paper's
-// nominal-device analysis (Figs. 4c/5/6) with its Fig. 2b variation data.
+// Thin compatibility main for the "yield_vs_pitch" scenario. The sweep logic
+// moved to src/scenario/ (see `mram_scenarios describe yield_vs_pitch`); this
+// binary keeps the historical entry point working for scripts and CI.
 
-#include "bench_common.h"
-#include "sim/yield.h"
+#include "scenario/compat.h"
 
-int main() {
-  using namespace mram;
-
-  bench::print_header("Extension", "parametric yield vs pitch, eCD = 35 nm");
-
-  const auto nominal = dev::MtjParams::reference_device(35e-9);
-  sim::VariationModel variation;  // wafer-typical sigmas (Fig. 2b spread)
-  sim::YieldSpec spec;            // tw <= 12 ns @ 0.9 V, Delta >= 26 @ 85 C
-
-  util::Rng rng(777);
-  std::vector<double> pitches;
-  for (double mult : {1.5, 1.75, 2.0, 2.5, 3.0, 4.0}) {
-    pitches.push_back(mult * 35e-9);
-  }
-  const auto points =
-      sim::yield_vs_pitch(nominal, variation, pitches, spec, 600, rng);
-
-  util::Table t({"pitch (nm)", "pitch/eCD", "write pass (%)",
-                 "retention pass (%)", "yield (%)"});
-  for (const auto& p : points) {
-    const double n = static_cast<double>(p.result.sampled);
-    t.add_numeric_row({p.pitch * 1e9, p.pitch / 35e-9,
-                       100.0 * p.result.pass_write / n,
-                       100.0 * p.result.pass_retention / n,
-                       100.0 * p.result.yield},
-                      2);
-  }
-  t.print(std::cout, "600 sampled devices per pitch, worst-case NP8 = 0");
-
-  bench::print_footer(
-      "Yield is variation-limited, not coupling-limited, down to about\n"
-      "2x eCD -- consistent with the paper's Psi = 2 % density optimum --\n"
-      "and the coupling penalty becomes visible at 1.5x eCD.");
-  return 0;
-}
+int main() { return mram::scn::run_scenario_main("yield_vs_pitch"); }

@@ -69,10 +69,29 @@ std::vector<MarchElement> march_c_minus() {
   };
 }
 
+namespace {
+
+bool contains(const std::vector<std::pair<std::size_t, std::size_t>>& cells,
+              std::size_t row, std::size_t col) {
+  return std::find(cells.begin(), cells.end(),
+                   std::make_pair(row, col)) != cells.end();
+}
+
+}  // namespace
+
+bool FaultInjection::is_stuck(std::size_t row, std::size_t col) const {
+  return contains(stuck_cells, row, col);
+}
+
+bool FaultInjection::is_volatile(std::size_t row, std::size_t col) const {
+  return contains(volatile_cells, row, col);
+}
+
 MarchResult run_march(MramArray& array,
                       const std::vector<MarchElement>& elements,
                       const WritePulse& pulse, util::Rng& rng,
-                      double hold_between_elements) {
+                      double hold_between_elements,
+                      const FaultInjection* injection) {
   MRAM_EXPECTS(hold_between_elements >= 0.0,
                "hold time must be non-negative");
   MarchResult result;
@@ -103,15 +122,44 @@ MarchResult run_march(MramArray& array,
           }
         } else {
           ++result.writes;
-          const auto wr = array.write(r, c, op_bit(op), pulse, rng);
-          const bool failed = wr.attempted && !wr.success;
+          bool failed;
+          if (injection && injection->is_stuck(r, c)) {
+            // The stored value never changes: the write fails exactly when
+            // it asked for the complement of what the cell holds.
+            failed = array.read(r, c) != op_bit(op);
+          } else {
+            const auto wr = array.write(r, c, op_bit(op), pulse, rng);
+            failed = wr.attempted && !wr.success;
+          }
           result.failed_writes += failed;
           last_write_failed[idx] = failed ? 1 : 0;
         }
       }
     }
     if (hold_between_elements > 0.0) {
+      // Stuck cells must hold their value through the relaxation too (the
+      // injection contract: the stored value never changes), so snapshot
+      // them and re-pin after the thermal hold.
+      std::vector<int> stuck_bits;
+      if (injection) {
+        for (const auto& [sr, sc] : injection->stuck_cells) {
+          stuck_bits.push_back(array.read(sr, sc));
+        }
+      }
       array.retention_hold(hold_between_elements, rng);
+      if (injection &&
+          (!injection->volatile_cells.empty() ||
+           !injection->stuck_cells.empty())) {
+        arr::DataGrid grid = array.data();
+        for (std::size_t s = 0; s < stuck_bits.size(); ++s) {
+          grid.set(injection->stuck_cells[s].first,
+                   injection->stuck_cells[s].second, stuck_bits[s]);
+        }
+        for (const auto& [vr, vc] : injection->volatile_cells) {
+          grid.set(vr, vc, 1 - grid.at(vr, vc));
+        }
+        array.load(grid);
+      }
     }
   }
   return result;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mram/mram_array.h"
@@ -54,16 +55,33 @@ struct MarchResult {
 /// The March C- algorithm.
 std::vector<MarchElement> march_c_minus();
 
+/// Deterministic fault injection, for validating that a march algorithm
+/// detects and correctly classifies faults independently of the stochastic
+/// physics. Cells in `stuck_cells` ignore every write (their stored value
+/// never changes: a hard write fault); cells in `volatile_cells` flip their
+/// stored bit during every inter-element hold (a forced retention fault --
+/// only active when `hold_between_elements` > 0, since a zero hold gives
+/// the fault no window to occur in).
+struct FaultInjection {
+  std::vector<std::pair<std::size_t, std::size_t>> stuck_cells;
+  std::vector<std::pair<std::size_t, std::size_t>> volatile_cells;
+
+  bool is_stuck(std::size_t row, std::size_t col) const;
+  bool is_volatile(std::size_t row, std::size_t col) const;
+};
+
 /// Runs `elements` on `array` with the given write pulse. Reads compare the
 /// stored bit against the march expectation; failed writes leave the old
 /// value in place (realistic fault activation, later detected and classified
 /// by the reads). When `hold_between_elements` > 0, the array relaxes
 /// thermally for that many seconds between elements, sensitizing retention
-/// faults in addition to write faults.
+/// faults in addition to write faults. `injection` (optional) overlays
+/// deterministic faults on top of the stochastic physics.
 MarchResult run_march(MramArray& array,
                       const std::vector<MarchElement>& elements,
                       const WritePulse& pulse, util::Rng& rng,
-                      double hold_between_elements = 0.0);
+                      double hold_between_elements = 0.0,
+                      const FaultInjection* injection = nullptr);
 
 std::string to_string(MarchOp op);
 const char* to_string(FaultClass cls);

@@ -69,6 +69,13 @@ double max_scrub_interval(const MramArray& array,
 
 RetentionEnsembleResult measure_retention_faults(
     const RetentionEnsembleConfig& config, util::Rng& rng) {
+  eng::MonteCarloRunner runner(config.runner);
+  return measure_retention_faults(config, rng, runner);
+}
+
+RetentionEnsembleResult measure_retention_faults(
+    const RetentionEnsembleConfig& config, util::Rng& rng,
+    eng::MonteCarloRunner& runner) {
   MRAM_EXPECTS(config.trials > 0, "need at least one trial");
   MRAM_EXPECTS(config.hold > 0.0, "hold must be positive");
   config.array.validate();
@@ -90,7 +97,6 @@ RetentionEnsembleResult measure_retention_faults(
                                          config.array.cols, rng);
   const std::uint64_t seed = rng();
 
-  eng::MonteCarloRunner runner(config.runner);
   const auto partial = runner.run<Partial>(
       config.trials, seed, [&] { return MramArray(prototype); },
       [&](MramArray& array, util::Rng& trial_rng, std::size_t, Partial& acc) {

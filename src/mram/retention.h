@@ -58,6 +58,13 @@ struct RetentionEnsembleResult {
 RetentionEnsembleResult measure_retention_faults(
     const RetentionEnsembleConfig& config, util::Rng& rng);
 
+/// Same, reusing an existing runner (and its thread pool) instead of
+/// building one from config.runner -- sweeps over hold times or patterns
+/// use this so the whole sweep pays thread creation once.
+RetentionEnsembleResult measure_retention_faults(
+    const RetentionEnsembleConfig& config, util::Rng& rng,
+    eng::MonteCarloRunner& runner);
+
 /// Longest scrub (refresh) interval such that the probability of any cell of
 /// `array` flipping between scrubs stays below `max_fail_probability`, based
 /// on the current data's worst-case cell. Returns +infinity when even a

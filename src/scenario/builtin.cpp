@@ -1,0 +1,12 @@
+#include "scenario/builtin.h"
+
+namespace mram::scn {
+
+void register_builtin_scenarios(ScenarioRegistry& registry) {
+  register_characterization_scenarios(registry);
+  register_coupling_scenarios(registry);
+  register_memory_scenarios(registry);
+  register_ablation_scenarios(registry);
+}
+
+}  // namespace mram::scn

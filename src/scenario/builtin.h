@@ -1,0 +1,16 @@
+#pragma once
+
+#include "scenario/registry.h"
+
+// Per-group registration hooks of the built-in scenarios. Called in this
+// order by register_builtin_scenarios(); each scenarios_*.cpp implements
+// one hook.
+
+namespace mram::scn {
+
+void register_characterization_scenarios(ScenarioRegistry& registry);
+void register_coupling_scenarios(ScenarioRegistry& registry);
+void register_memory_scenarios(ScenarioRegistry& registry);
+void register_ablation_scenarios(ScenarioRegistry& registry);
+
+}  // namespace mram::scn

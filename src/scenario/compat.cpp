@@ -1,0 +1,27 @@
+#include "scenario/compat.h"
+
+#include <exception>
+#include <iostream>
+
+#include "scenario/registry.h"
+#include "scenario/result_sink.h"
+
+namespace mram::scn {
+
+int run_scenario_main(const std::string& name) {
+  try {
+    const Scenario& scenario = ScenarioRegistry::global().at(name);
+    eng::MonteCarloRunner runner;  // default config: hardware threads
+    ScenarioContext ctx{runner};
+    ctx.data_dir = "data";  // picked up when run from the repo root
+    const ResultSet results = scenario.run(ctx);
+    const RunMeta meta{ctx.seed, runner.threads(), ctx.trial_scale};
+    TextSink(std::cout).write(scenario.info, meta, results);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "scenario '" << name << "' failed: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace mram::scn

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <string>
+
+// Compatibility entry point for the thin bench_* mains: each legacy bench
+// binary now just runs its registered scenario with default settings and
+// prints the text rendering, so existing scripts and CI keep working while
+// the sweep logic lives in one place.
+
+namespace mram::scn {
+
+/// Runs scenario `name` from the global registry on all hardware threads
+/// with the default seed, printing aligned text tables to stdout. Returns
+/// a process exit code (0 on success, 1 on error).
+int run_scenario_main(const std::string& name);
+
+}  // namespace mram::scn

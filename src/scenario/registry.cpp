@@ -1,0 +1,53 @@
+#include "scenario/registry.h"
+
+#include "util/error.h"
+
+namespace mram::scn {
+
+void ScenarioRegistry::add(Scenario scenario) {
+  if (scenario.info.name.empty()) {
+    throw util::ConfigError("scenario needs a non-empty name");
+  }
+  if (!scenario.run) {
+    throw util::ConfigError("scenario '" + scenario.info.name +
+                            "' has no run function");
+  }
+  const auto [it, inserted] =
+      scenarios_.emplace(scenario.info.name, std::move(scenario));
+  if (!inserted) {
+    throw util::ConfigError("scenario '" + it->first +
+                            "' is already registered");
+  }
+}
+
+const Scenario* ScenarioRegistry::find(const std::string& name) const {
+  const auto it = scenarios_.find(name);
+  return it == scenarios_.end() ? nullptr : &it->second;
+}
+
+const Scenario& ScenarioRegistry::at(const std::string& name) const {
+  const Scenario* s = find(name);
+  if (!s) {
+    throw util::ConfigError("unknown scenario '" + name +
+                            "' (see `mram_scenarios list`)");
+  }
+  return *s;
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(scenarios_.size());
+  for (const auto& [name, scenario] : scenarios_) out.push_back(name);
+  return out;
+}
+
+ScenarioRegistry& ScenarioRegistry::global() {
+  static ScenarioRegistry* registry = [] {
+    auto* r = new ScenarioRegistry;
+    register_builtin_scenarios(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace mram::scn

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.h"
+
+// Scenario registry: name -> (metadata, run function). The built-in
+// scenarios (one per regenerated paper figure / ablation / memory study)
+// self-register through register_builtin_scenarios(), which
+// ScenarioRegistry::global() invokes on first use; tests and downstream
+// tools may register additional scenarios on their own registry instances
+// or on the global one.
+
+namespace mram::scn {
+
+using ScenarioFn = std::function<ResultSet(ScenarioContext&)>;
+
+struct Scenario {
+  ScenarioInfo info;
+  ScenarioFn run;
+};
+
+class ScenarioRegistry {
+ public:
+  /// Registers a scenario. Throws util::ConfigError on a duplicate name or
+  /// a missing run function.
+  void add(Scenario scenario);
+
+  /// Looks a scenario up by name; nullptr when absent.
+  const Scenario* find(const std::string& name) const;
+
+  /// Like find(), but throws util::ConfigError naming the unknown scenario.
+  const Scenario& at(const std::string& name) const;
+
+  /// Registered names in sorted order.
+  std::vector<std::string> names() const;
+
+  std::size_t size() const { return scenarios_.size(); }
+
+  /// The process-wide registry, with the built-ins registered on first use.
+  static ScenarioRegistry& global();
+
+ private:
+  std::map<std::string, Scenario> scenarios_;
+};
+
+/// Registers every built-in scenario (the scenarios_*.cpp definitions).
+/// Idempotent only in the sense that global() calls it exactly once; adding
+/// the built-ins twice to one registry throws on the duplicate names.
+void register_builtin_scenarios(ScenarioRegistry& registry);
+
+}  // namespace mram::scn

@@ -1,0 +1,179 @@
+#include "scenario/result_sink.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/error.h"
+
+namespace mram::scn {
+
+namespace {
+
+std::string text_render(const ScenarioInfo& info, const RunMeta& meta,
+                        const ResultSet& results) {
+  std::ostringstream os;
+  os << "\n=============================================================\n"
+     << info.figure << ": " << info.summary << "\n"
+     << "scenario " << info.name << ", seed " << meta.seed << ", "
+     << meta.threads << " thread" << (meta.threads == 1 ? "" : "s") << "\n"
+     << "=============================================================\n";
+  for (const auto& table : results.tables) {
+    os << "\n-- " << table.title << " --\n" << table.to_text();
+  }
+  for (const auto& note : results.notes) os << note << "\n";
+  return os.str();
+}
+
+std::string csv_render_stream(const ScenarioInfo& info,
+                              const ResultSet& results) {
+  std::ostringstream os;
+  for (const auto& table : results.tables) {
+    os << "# " << info.name << "/" << table.name << "\n" << table.to_csv();
+  }
+  return os.str();
+}
+
+}  // namespace
+
+void TextSink::write(const ScenarioInfo& info, const RunMeta& meta,
+                     const ResultSet& results) {
+  const std::string text = text_render(info, meta, results);
+  if (os_) {
+    *os_ << text;
+    os_->flush();
+  } else {
+    util::write_text_file(out_dir_ + "/" + info.name + ".txt", text);
+  }
+}
+
+void CsvSink::write(const ScenarioInfo& info, const RunMeta& meta,
+                    const ResultSet& results) {
+  (void)meta;  // CSV stays a pure data payload; provenance lives in JSON.
+  if (os_) {
+    *os_ << csv_render_stream(info, results);
+    os_->flush();
+    return;
+  }
+  for (const auto& table : results.tables) {
+    util::write_text_file(
+        out_dir_ + "/" + info.name + "__" + table.name + ".csv",
+        table.to_csv());
+  }
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void append_cell(std::string& out, const Cell& cell) {
+  // Numeric cells become JSON numbers, re-emitted from the formatted text
+  // so JSON and CSV views of one run agree digit-for-digit. Non-finite
+  // values have no JSON number form and fall back to strings.
+  if (cell.numeric && std::isfinite(cell.value)) {
+    out += cell.text;
+  } else {
+    out += '"';
+    out += json_escape(cell.text);
+    out += '"';
+  }
+}
+
+}  // namespace
+
+std::string to_json(const ScenarioInfo& info, const RunMeta& meta,
+                    const ResultSet& results) {
+  std::string out;
+  out += "{\n";
+  out += "  \"scenario\": \"" + json_escape(info.name) + "\",\n";
+  out += "  \"figure\": \"" + json_escape(info.figure) + "\",\n";
+  out += "  \"summary\": \"" + json_escape(info.summary) + "\",\n";
+  out += "  \"seed\": " + std::to_string(meta.seed) + ",\n";
+  out += "  \"threads\": " + std::to_string(meta.threads) + ",\n";
+  out += "  \"tables\": [";
+  for (std::size_t t = 0; t < results.tables.size(); ++t) {
+    const auto& table = results.tables[t];
+    out += t ? ",\n    {" : "\n    {";
+    out += "\"name\": \"" + json_escape(table.name) + "\", ";
+    out += "\"title\": \"" + json_escape(table.title) + "\",\n";
+    out += "     \"columns\": [";
+    for (std::size_t c = 0; c < table.columns.size(); ++c) {
+      if (c) out += ", ";
+      out += '"' + json_escape(table.columns[c]) + '"';
+    }
+    out += "],\n     \"rows\": [";
+    for (std::size_t r = 0; r < table.rows.size(); ++r) {
+      out += r ? ",\n       [" : "\n       [";
+      for (std::size_t c = 0; c < table.rows[r].size(); ++c) {
+        if (c) out += ", ";
+        append_cell(out, table.rows[r][c]);
+      }
+      out += ']';
+    }
+    out += table.rows.empty() ? "]" : "\n     ]";
+    out += '}';
+  }
+  out += results.tables.empty() ? "]" : "\n  ]";
+  out += ",\n  \"notes\": [";
+  for (std::size_t n = 0; n < results.notes.size(); ++n) {
+    if (n) out += ", ";
+    out += '"' + json_escape(results.notes[n]) + '"';
+  }
+  out += "]\n}\n";
+  return out;
+}
+
+void JsonSink::write(const ScenarioInfo& info, const RunMeta& meta,
+                     const ResultSet& results) {
+  const std::string doc = to_json(info, meta, results);
+  if (os_) {
+    *os_ << doc;
+    os_->flush();
+  } else {
+    util::write_text_file(out_dir_ + "/" + info.name + ".json", doc);
+  }
+}
+
+std::unique_ptr<ResultSink> make_sink(const std::string& format,
+                                      std::ostream& os,
+                                      const std::string& out_dir) {
+  if (format == "table") {
+    return out_dir.empty() ? std::make_unique<TextSink>(os)
+                           : std::make_unique<TextSink>(out_dir);
+  }
+  if (format == "csv") {
+    return out_dir.empty() ? std::make_unique<CsvSink>(os)
+                           : std::make_unique<CsvSink>(out_dir);
+  }
+  if (format == "json") {
+    return out_dir.empty() ? std::make_unique<JsonSink>(os)
+                           : std::make_unique<JsonSink>(out_dir);
+  }
+  throw util::ConfigError("unknown output format '" + format +
+                          "' (expected table, csv or json)");
+}
+
+}  // namespace mram::scn

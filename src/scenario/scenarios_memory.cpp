@@ -1,0 +1,388 @@
+// Built-in memory-level scenarios: write error rate vs pulse width,
+// write-verify-write vs single pulse, parametric yield vs pitch, the 1T-1R
+// drive/sense study, the retention-fault ensemble and a March C- fault
+// census. The stochastic trial loops all run through the shared
+// MonteCarloRunner (or through serial per-point loops whose results cannot
+// depend on the thread count), so every scenario is bit-identical across
+// --threads for a fixed seed.
+
+#include <string>
+#include <vector>
+
+#include "mram/cell_1t1r.h"
+#include "mram/march.h"
+#include "mram/retention.h"
+#include "mram/wer.h"
+#include "mram/wvw.h"
+#include "scenario/builtin.h"
+#include "scenario/sweep.h"
+#include "sim/variation.h"
+#include "sim/yield.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace mram::scn {
+
+namespace {
+
+using dev::SwitchDirection;
+using util::s_to_ns;
+
+// --- WER vs pulse width ----------------------------------------------------
+
+ResultSet run_wer(ScenarioContext& ctx) {
+  ResultSet out;
+  SweepDriver driver(ctx.runner, ctx.seed);
+
+  mem::WerConfig cfg;
+  cfg.array.device = dev::MtjParams::reference_device(35e-9);
+  cfg.array.pitch = 1.5 * 35e-9;
+  cfg.array.rows = cfg.array.cols = 5;
+  cfg.pulse.voltage = 0.9;
+  cfg.direction = SwitchDirection::kApToP;
+  cfg.trials = ctx.scaled_trials(800);
+
+  // Reference switching time with intra-only field, for scale.
+  const dev::MtjDevice device(cfg.array.device);
+  const double tw_intra = device.switching_time(
+      SwitchDirection::kApToP, cfg.pulse.voltage, device.intra_stray_field());
+
+  const Grid grid(
+      GridAxis::list("width_frac", {0.7, 0.85, 1.0, 1.15, 1.3, 1.6, 2.0}));
+  out.tables.push_back(driver.sweep(
+      "wer_vs_width",
+      "WER at Vp = 0.9 V, pitch = 1.5 x eCD (tw_intra = " +
+          util::format_double(s_to_ns(tw_intra), 2) + " ns)",
+      {"pulse (ns)", "WER all-0 (worst)", "WER checkerboard",
+       "WER all-1 (best)"},
+      grid, [&](const SweepPoint& pt) -> std::vector<Cell> {
+        const double width = pt.at.x * tw_intra;
+        util::Rng rng = pt.rng();
+        std::vector<Cell> row{Cell(s_to_ns(width), 2)};
+        for (auto kind : {arr::PatternKind::kAllZero,
+                          arr::PatternKind::kCheckerboard,
+                          arr::PatternKind::kAllOne}) {
+          auto c = cfg;
+          c.background = kind;
+          c.pulse.width = width;
+          const auto result = mem::measure_wer(c, rng, pt.runner);
+          row.emplace_back(result.wer, 4);
+        }
+        return row;
+      }));
+
+  out.notes.push_back(
+      "The all-0 background (NP8 = 0 at the victim) needs the longest pulse\n"
+      "for a given WER target -- the write-margin conclusion of Fig. 5c at\n"
+      "the memory level.");
+  return out;
+}
+
+// --- WVW vs single pulse ---------------------------------------------------
+
+ResultSet run_wvw(ScenarioContext& ctx) {
+  ResultSet out;
+  SweepDriver driver(ctx.runner, ctx.seed);
+
+  mem::ArrayConfig array;
+  array.device = dev::MtjParams::reference_device(35e-9);
+  array.pitch = 1.5 * 35e-9;
+  array.rows = array.cols = 5;
+
+  const dev::MtjDevice device(array.device);
+  const double tw = device.switching_time(SwitchDirection::kApToP, 0.9,
+                                          device.intra_stray_field());
+  const std::size_t trials = ctx.scaled_trials(1500);
+
+  const Grid grid(GridAxis::list("width_frac", {0.8, 1.0, 1.2, 1.5}));
+  out.tables.push_back(driver.sweep(
+      "wvw_vs_width",
+      "worst-case victim (NP8 = 0, AP->P) at pitch = 1.5 x eCD, Vp = 0.9 V",
+      {"pulse (ns)", "single WER", "WVW WER (<=4 tries)", "mean tries",
+       "mean latency (ns)", "energy vs single"},
+      grid, [&](const SweepPoint& pt) -> std::vector<Cell> {
+        mem::WvwConfig cfg;
+        cfg.pulse.voltage = 0.9;
+        cfg.pulse.width = pt.at.x * tw;
+        cfg.max_attempts = 4;
+        util::Rng rng = pt.rng();
+        const auto cmp = mem::compare_write_schemes(array, cfg, trials, rng);
+        return {Cell(s_to_ns(cfg.pulse.width), 2),
+                Cell(cmp.single_pulse_wer, 4), Cell(cmp.wvw_wer, 4),
+                Cell(cmp.wvw_mean_attempts, 2),
+                Cell(s_to_ns(cmp.wvw_mean_latency), 2),
+                Cell(util::format_double(
+                         cmp.wvw_mean_energy / cmp.single_energy, 2) +
+                     "x")};
+      }));
+
+  out.notes.push_back(
+      "WVW converts the pattern-dependent WER of marginal pulses into a\n"
+      "latency/energy tail: with a pulse near tw, four attempts push the\n"
+      "residual WER down by orders of magnitude at <2x average energy --\n"
+      "why [4] ships the scheme and why the paper's worst-case analysis\n"
+      "sets the verify budget.");
+  return out;
+}
+
+// --- yield vs pitch --------------------------------------------------------
+
+ResultSet run_yield(ScenarioContext& ctx) {
+  ResultSet out;
+  SweepDriver driver(ctx.runner, ctx.seed);
+
+  const auto nominal = dev::MtjParams::reference_device(35e-9);
+  const sim::VariationModel variation;  // wafer-typical sigmas
+  sim::YieldSpec spec;  // tw <= 12 ns @ 0.9 V, Delta >= 26 @ 85 C
+  const std::size_t samples = ctx.scaled_trials(600);
+
+  const Grid grid(
+      GridAxis::list("pitch_mult", {1.5, 1.75, 2.0, 2.5, 3.0, 4.0}));
+  out.tables.push_back(driver.sweep(
+      "yield_vs_pitch",
+      std::to_string(samples) +
+          " sampled devices per pitch, worst-case NP8 = 0",
+      {"pitch (nm)", "pitch/eCD", "write pass (%)", "retention pass (%)",
+       "yield (%)"},
+      grid, [&](const SweepPoint& pt) -> std::vector<Cell> {
+        const double pitch = pt.at.x * 35e-9;
+        util::Rng rng = pt.rng();
+        const auto result = sim::estimate_yield(nominal, variation, pitch,
+                                                spec, samples, rng,
+                                                pt.runner);
+        const double n = static_cast<double>(result.sampled);
+        return {Cell(pitch * 1e9, 2), Cell(pt.at.x, 2),
+                Cell(100.0 * result.pass_write / n, 2),
+                Cell(100.0 * result.pass_retention / n, 2),
+                Cell(100.0 * result.yield, 2)};
+      }));
+
+  out.notes.push_back(
+      "Yield is variation-limited, not coupling-limited, down to about\n"
+      "2x eCD -- consistent with the paper's Psi = 2 % density optimum --\n"
+      "and the coupling penalty becomes visible at 1.5x eCD.");
+  return out;
+}
+
+// --- 1T-1R drive -----------------------------------------------------------
+
+struct MarginPartial {
+  util::RunningStats margin_p, margin_ap;
+
+  void merge(const MarginPartial& other) {
+    margin_p.merge(other.margin_p);
+    margin_ap.merge(other.margin_ap);
+  }
+};
+
+ResultSet run_1t1r(ScenarioContext& ctx) {
+  ResultSet out;
+  SweepDriver driver(ctx.runner, ctx.seed);
+
+  using dev::MtjState;
+  const auto params = dev::MtjParams::reference_device(35e-9);
+  const mem::AccessTransistor transistor;
+  const mem::Cell1T1R cell(params, transistor);
+  const double hz = cell.device().intra_stray_field();
+
+  const Grid grid(GridAxis::step("vdd", 1.0, 0.2, 5));
+  out.tables.push_back(driver.sweep(
+      "drive_vs_vdd", "write drive through the access transistor",
+      {"Vdd (V)", "V_mtj AP (V)", "V_mtj P (V)", "tw AP->P (ns)",
+       "tw P->AP (ns)", "asymmetry"},
+      grid, [&](const SweepPoint& pt) -> std::vector<Cell> {
+        const double vdd = pt.at.x;
+        const double v_ap = cell.mtj_voltage(MtjState::kAntiParallel, vdd);
+        const double v_p = cell.mtj_voltage(MtjState::kParallel, vdd);
+        const double tw_apc =
+            cell.write_time(SwitchDirection::kApToP, vdd, hz);
+        const double tw_pap =
+            cell.write_time(SwitchDirection::kPToAp, vdd, hz);
+        return {Cell(vdd, 2), Cell(v_ap, 3), Cell(v_p, 3),
+                Cell(s_to_ns(tw_apc), 2), Cell(s_to_ns(tw_pap), 2),
+                Cell(tw_apc / tw_pap, 3)};
+      }));
+
+  // Sense margin under process variation, one runner trial per cell.
+  const sim::VariationModel variation;
+  const std::size_t cells = ctx.scaled_trials(400);
+  const auto acc = ctx.runner.run<MarginPartial>(
+      cells, driver.point_seed(grid.size()),
+      [&](util::Rng& rng, std::size_t, MarginPartial& p) {
+        const auto varied = variation.sample(params, rng);
+        const mem::Cell1T1R vc(varied, transistor);
+        p.margin_p.add(vc.sense_margin(MtjState::kParallel, 0.2) * 1e6);
+        p.margin_ap.add(vc.sense_margin(MtjState::kAntiParallel, 0.2) * 1e6);
+      });
+
+  auto& s = out.add("sense_margin",
+                    "read sense margin at 0.2 V, " + std::to_string(cells) +
+                        " varied cells",
+                    {"state", "mean margin (uA)", "sigma (uA)",
+                     "margin/sigma"});
+  s.add_row({"P", Cell(acc.margin_p.mean(), 3),
+             Cell(acc.margin_p.stddev(), 3),
+             Cell(acc.margin_p.mean() / acc.margin_p.stddev(), 1)});
+  s.add_row({"AP", Cell(acc.margin_ap.mean(), 3),
+             Cell(acc.margin_ap.stddev(), 3),
+             Cell(acc.margin_ap.mean() / acc.margin_ap.stddev(), 1)});
+
+  out.notes.push_back(
+      "The AP state keeps a larger share of Vdd (higher resistance), which\n"
+      "partially compensates its higher Ic(AP->P); the remaining asymmetry\n"
+      "matches the paper's remark that tw(AP->P) can differ from tw(P->AP)\n"
+      "depending on drive conditions.");
+  return out;
+}
+
+// --- retention-fault ensemble ----------------------------------------------
+
+ResultSet run_retention(ScenarioContext& ctx) {
+  ResultSet out;
+  SweepDriver driver(ctx.runner, ctx.seed);
+
+  // A deliberately weakened device (low barrier, hot chip) so fault
+  // probabilities land in the measurable range at second-scale holds.
+  mem::RetentionEnsembleConfig cfg;
+  cfg.array.device = dev::MtjParams::reference_device(35e-9);
+  cfg.array.device.delta0 = 18.0;
+  cfg.array.pitch = 1.5 * 35e-9;
+  cfg.array.rows = cfg.array.cols = 4;
+  cfg.array.temperature = 380.0;
+  cfg.pattern = arr::PatternKind::kAllZero;
+  cfg.trials = ctx.scaled_trials(400);
+
+  const Grid grid(GridAxis::list("hold_s", {1e-3, 1e-2, 1e-1, 1.0}));
+  out.tables.push_back(driver.sweep(
+      "faults_vs_hold",
+      "retention-fault probability vs hold (weakened device, all-0 data)",
+      {"hold (s)", "fault probability", "95% lo", "95% hi",
+       "mean flips/hold"},
+      grid, [&](const SweepPoint& pt) -> std::vector<Cell> {
+        auto c = cfg;
+        c.hold = pt.at.x;
+        util::Rng rng = pt.rng();
+        const auto r = mem::measure_retention_faults(c, rng, pt.runner);
+        return {Cell(pt.at.x, 4), Cell(r.fault_probability, 4),
+                Cell(r.confidence.lo, 4), Cell(r.confidence.hi, 4),
+                Cell(r.mean_flips, 4)};
+      }));
+
+  out.notes.push_back(
+      "Fault probability climbs with the hold time following the\n"
+      "Neel--Brown exponential; the all-0 background puts the P victims at\n"
+      "their Fig. 6a worst case.");
+  return out;
+}
+
+// --- March C- census -------------------------------------------------------
+
+ResultSet run_march(ScenarioContext& ctx) {
+  ResultSet out;
+  SweepDriver driver(ctx.runner, ctx.seed);
+
+  const Grid grid(GridAxis::list("pitch_mult", {1.5, 2.0, 3.0}));
+  out.tables.push_back(driver.sweep(
+      "march_faults", "March C- on a 5x5 array with a marginal write pulse",
+      {"pitch/eCD", "reads", "writes", "failed writes", "write faults",
+       "retention faults"},
+      grid, [&](const SweepPoint& pt) -> std::vector<Cell> {
+        mem::ArrayConfig cfg;
+        cfg.device = dev::MtjParams::reference_device(35e-9);
+        cfg.pitch = pt.at.x * 35e-9;
+        cfg.rows = cfg.cols = 5;
+        mem::MramArray array(cfg);
+        // Pulse at the worst-case switching time: marginal by design, so
+        // coupling-dependent write faults surface at aggressive pitches.
+        const double tw = array.cell_switching_time(2, 2, 1, 0.85);
+        const mem::WritePulse marginal{0.85, tw};
+        util::Rng rng = pt.rng();
+        const auto result =
+            mem::run_march(array, mem::march_c_minus(), marginal, rng);
+        return {
+            Cell(pt.at.x, 1),
+            Cell::integer(static_cast<long long>(result.reads)),
+            Cell::integer(static_cast<long long>(result.writes)),
+            Cell::integer(static_cast<long long>(result.failed_writes)),
+            Cell::integer(static_cast<long long>(
+                result.count(mem::FaultClass::kWriteFault))),
+            Cell::integer(static_cast<long long>(
+                result.count(mem::FaultClass::kRetentionFault)))};
+      }));
+
+  out.notes.push_back(
+      "March C- (10N) detects every failed write as a read mismatch in the\n"
+      "following element; fault counts shrink as the pitch relaxes and the\n"
+      "inter-cell coupling fades.");
+  return out;
+}
+
+}  // namespace
+
+void register_memory_scenarios(ScenarioRegistry& registry) {
+  registry.add(
+      {{"wer_pulse_width", "Memory",
+        "write error rate vs pulse width (AP->P)",
+        "Monte Carlo WER of the center victim of a 5x5 array at the"
+        " aggressive 1.5x eCD pitch, across pulse widths and the all-0 /"
+        " checkerboard / all-1 backgrounds. Trials run on the shared"
+        " MonteCarloRunner: bit-identical across --threads.",
+        {{"ecd", "35 nm", "device size"},
+         {"pitch", "1.5 x eCD", "array pitch"},
+         {"vp", "0.9 V", "write voltage"},
+         {"trials", "800 per point", "Monte Carlo trials (scaled)"},
+         {"width_frac", "{0.7..2.0} x tw_intra", "pulse width grid"}}},
+       run_wer});
+  registry.add(
+      {{"wvw_compare", "Memory", "write-verify-write vs single pulse",
+        "Reliability/latency/energy comparison of single-pulse writes and"
+        " the WVW scheme (<= 4 attempts) on the worst-case NP8 = 0 victim.",
+        {{"pitch", "1.5 x eCD", "array pitch"},
+         {"vp", "0.9 V", "write voltage"},
+         {"max_attempts", "4", "WVW retry budget"},
+         {"trials", "1500 per point", "Monte Carlo trials (scaled)"}}},
+       run_wvw});
+  registry.add(
+      {{"yield_vs_pitch", "Extension",
+        "parametric yield vs pitch, eCD = 35 nm",
+        "Fraction of devices drawn from the process-variation distribution"
+        " meeting the write spec (tw <= 12 ns @ 0.9 V) and retention spec"
+        " (Delta >= 26 @ 85 degC) at their worst-case neighborhood, by"
+        " pitch. Samples run on the shared runner.",
+        {{"ecd", "35 nm", "device size"},
+         {"pitch_mult", "{1.5..4} x eCD", "pitch grid"},
+         {"samples", "600 per pitch", "sampled devices (scaled)"}}},
+       run_yield});
+  registry.add(
+      {{"drive_1t1r", "Extension", "1T-1R drive asymmetry and sense margin",
+        "Access-transistor divider: the MTJ's share of Vdd by state, the"
+        " resulting tw(AP->P)/tw(P->AP) asymmetry, and the read sense"
+        " margin over a runner-parallel varied-cell ensemble.",
+        {{"ecd", "35 nm", "device size"},
+         {"vdd", "1.0..1.8 step 0.2", "drive voltage, 5 exact points"},
+         {"cells", "400", "varied cells for the sense margin (scaled)"}}},
+       run_1t1r});
+  registry.add(
+      {{"retention_faults", "Memory",
+        "retention-fault probability vs hold time",
+        "Monte Carlo retention ensemble on a deliberately weakened 4x4"
+        " array (delta0 = 18, 380 K) holding the all-0 pattern: fault"
+        " probability and flips per hold across four hold times.",
+        {{"delta0", "18", "weakened barrier (measurable fault rates)"},
+         {"temperature", "380 K", "hot-chip condition"},
+         {"hold_s", "{1e-3, 1e-2, 1e-1, 1}", "hold durations"},
+         {"trials", "400 per point", "Monte Carlo holds (scaled)"}}},
+       run_retention});
+  registry.add(
+      {{"march_cminus", "Memory", "March C- fault census vs pitch",
+        "Runs the March C- algorithm (10N) on a 5x5 array with a marginal"
+        " write pulse at three pitches and tallies detected faults by"
+        " class: coupling-dependent write faults dominate at 1.5x eCD.",
+        {{"ecd", "35 nm", "device size"},
+         {"pitch_mult", "{1.5, 2, 3}", "pitch / eCD"},
+         {"pulse", "0.85 V, tw_worst", "marginal by construction"}}},
+       run_march});
+}
+
+}  // namespace mram::scn

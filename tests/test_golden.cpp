@@ -1,0 +1,117 @@
+// Golden-output regression tests: the fig2b and fig5 scenarios, run at the
+// default seed, must reproduce the series committed under data/golden_*.csv
+// within tolerance. A model change that drifts a figure now fails ctest
+// instead of going unnoticed; intentional drift is ratified by regenerating
+// the goldens:
+//
+//   mram_scenarios run fig2b_intra_vs_ecd fig5_tw --format csv --out OUT \
+//                  --seed 2020 --data data
+//   cp OUT/fig2b_intra_vs_ecd__hz_intra_vs_ecd.csv data/golden_fig2b.csv
+//   cp OUT/fig5_tw__tw_vs_vp.csv data/golden_fig5_tw.csv
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/registry.h"
+
+namespace mram::scn {
+namespace {
+
+constexpr const char* kDataDir = MRAM_SOURCE_DIR "/data";
+
+/// Splits one CSV line on commas (the golden tables contain no quoted
+/// commas; the quoting path is covered by test_scenario).
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::stringstream ss(line);
+  std::string cell;
+  while (std::getline(ss, cell, ',')) cells.push_back(cell);
+  if (!line.empty() && line.back() == ',') cells.push_back("");
+  return cells;
+}
+
+std::vector<std::vector<std::string>> read_csv(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    rows.push_back(split_csv_line(line));
+  }
+  return rows;
+}
+
+bool parse_number(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+/// Cell-wise comparison: numeric cells within abs+rel tolerance, everything
+/// else byte-exact.
+void expect_matches_golden(const ResultTable& table,
+                           const std::string& golden_path, double abs_tol,
+                           double rel_tol) {
+  const auto golden = read_csv(golden_path);
+  ASSERT_GE(golden.size(), 2u) << golden_path << " has no data rows";
+  ASSERT_EQ(golden[0], table.columns) << "header drift vs " << golden_path;
+  ASSERT_EQ(golden.size() - 1, table.rows.size())
+      << "row count drift vs " << golden_path;
+
+  for (std::size_t r = 0; r < table.rows.size(); ++r) {
+    const auto& expected = golden[r + 1];
+    ASSERT_EQ(expected.size(), table.rows[r].size())
+        << golden_path << " row " << r;
+    for (std::size_t c = 0; c < expected.size(); ++c) {
+      const std::string& actual = table.rows[r][c].text;
+      double want = 0.0, got = 0.0;
+      if (parse_number(expected[c], &want) && parse_number(actual, &got)) {
+        EXPECT_NEAR(got, want, abs_tol + rel_tol * std::abs(want))
+            << golden_path << " row " << r << " col '" << table.columns[c]
+            << "'";
+      } else {
+        EXPECT_EQ(actual, expected[c])
+            << golden_path << " row " << r << " col '" << table.columns[c]
+            << "'";
+      }
+    }
+  }
+}
+
+ResultSet run_scenario(const std::string& name) {
+  eng::RunnerConfig cfg;
+  cfg.threads = 2;  // any thread count reproduces the goldens
+  eng::MonteCarloRunner runner(cfg);
+  ScenarioContext ctx{runner};
+  ctx.data_dir = kDataDir;
+  return ScenarioRegistry::global().at(name).run(ctx);
+}
+
+TEST(GoldenOutputs, Fig2bMatchesCommittedSeries) {
+  const ResultSet results = run_scenario("fig2b_intra_vs_ecd");
+  const ResultTable* table = results.find("hz_intra_vs_ecd");
+  ASSERT_NE(table, nullptr);
+  // Wide tolerance on the Oe-scale columns: catches model/figure drift
+  // (tens of Oe) while riding out last-digit formatting differences.
+  expect_matches_golden(*table, std::string(kDataDir) + "/golden_fig2b.csv",
+                        1e-4, 2e-3);
+}
+
+TEST(GoldenOutputs, Fig5MatchesCommittedSeries) {
+  const ResultSet results = run_scenario("fig5_tw");
+  const ResultTable* table = results.find("tw_vs_vp");
+  ASSERT_NE(table, nullptr);
+  expect_matches_golden(*table, std::string(kDataDir) + "/golden_fig5_tw.csv",
+                        1e-4, 2e-3);
+}
+
+}  // namespace
+}  // namespace mram::scn

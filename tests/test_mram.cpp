@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "array/intercell.h"
@@ -450,6 +451,98 @@ TEST(March, ClassifiesRetentionFaultsUnderHold) {
   EXPECT_EQ(result.count(FaultClass::kWriteFault), 0u);
 }
 
+// --- deterministic fault injection -------------------------------------------------
+
+TEST(March, DetectsInjectedWriteFaults) {
+  // Stable array + strong pulse: the only faults are the injected ones.
+  MramArray array(small_config());
+  util::Rng rng(33);
+  FaultInjection injection;
+  injection.stuck_cells = {{1, 2}, {3, 0}};
+  const auto result = run_march(array, march_c_minus(), strong_pulse(), rng,
+                                0.0, &injection);
+  // March C- exercises both transitions of every cell, so each stuck cell
+  // is detected (twice: once per direction) and classified as a write
+  // fault; no fault appears anywhere else.
+  EXPECT_EQ(result.count(FaultClass::kWriteFault), 4u);
+  EXPECT_EQ(result.count(FaultClass::kRetentionFault), 0u);
+  for (const auto& f : result.faults) {
+    EXPECT_TRUE(injection.is_stuck(f.row, f.col));
+  }
+  for (const auto& [r, c] : injection.stuck_cells) {
+    const bool detected =
+        std::any_of(result.faults.begin(), result.faults.end(),
+                    [r = r, c = c](const MarchFault& f) {
+                      return f.row == r && f.col == c;
+                    });
+    EXPECT_TRUE(detected) << "stuck cell (" << r << "," << c
+                          << ") escaped detection";
+  }
+}
+
+TEST(March, DetectsInjectedRetentionFaults) {
+  // A nanosecond hold makes physical retention flips vanishingly unlikely
+  // but gives the injected volatile cell its window to flip in.
+  MramArray array(small_config());
+  util::Rng rng(34);
+  FaultInjection injection;
+  injection.volatile_cells = {{0, 1}};
+  const auto result = run_march(array, march_c_minus(), strong_pulse(), rng,
+                                1e-9, &injection);
+  EXPECT_EQ(result.failed_writes, 0u);
+  EXPECT_GT(result.count(FaultClass::kRetentionFault), 0u);
+  EXPECT_EQ(result.count(FaultClass::kWriteFault), 0u);
+  for (const auto& f : result.faults) {
+    EXPECT_TRUE(injection.is_volatile(f.row, f.col));
+  }
+}
+
+TEST(March, StuckCellsStayStuckThroughHolds) {
+  // Weak, hot array + long holds: thermal flips flood the array with
+  // retention faults, but the stuck cell is pinned through every hold, so
+  // its faults stay write faults -- the injection contract.
+  auto cfg = small_config(2.0);
+  cfg.device.delta0 = 10.0;
+  cfg.temperature = 400.0;
+  MramArray array(cfg);
+  util::Rng rng(36);
+  FaultInjection injection;
+  injection.stuck_cells = {{2, 3}};
+  const auto result = run_march(array, march_c_minus(), strong_pulse(), rng,
+                                0.05, &injection);
+  EXPECT_GT(result.count(FaultClass::kRetentionFault), 0u);
+  std::size_t stuck_faults = 0;
+  for (const auto& f : result.faults) {
+    if (injection.is_stuck(f.row, f.col)) {
+      EXPECT_EQ(f.cls, FaultClass::kWriteFault);
+      ++stuck_faults;
+    }
+  }
+  // March C- reads the stuck cell against the wrong expectation exactly
+  // twice (once per direction), holds or not.
+  EXPECT_EQ(stuck_faults, 2u);
+}
+
+TEST(March, ClassifiesMixedInjectedFaults) {
+  MramArray array(small_config());
+  util::Rng rng(35);
+  FaultInjection injection;
+  injection.stuck_cells = {{2, 2}};
+  injection.volatile_cells = {{4, 4}};
+  const auto result = run_march(array, march_c_minus(), strong_pulse(), rng,
+                                1e-9, &injection);
+  EXPECT_GT(result.count(FaultClass::kWriteFault), 0u);
+  EXPECT_GT(result.count(FaultClass::kRetentionFault), 0u);
+  // Classification matches the injected mechanism cell by cell.
+  for (const auto& f : result.faults) {
+    if (injection.is_stuck(f.row, f.col)) {
+      EXPECT_EQ(f.cls, FaultClass::kWriteFault);
+    } else {
+      EXPECT_TRUE(injection.is_volatile(f.row, f.col));
+      EXPECT_EQ(f.cls, FaultClass::kRetentionFault);
+    }
+  }
+}
 
 // --- 1T-1R cell -------------------------------------------------------------------
 

@@ -1,0 +1,275 @@
+// Tests for src/scenario: registry lookup/describe, grid expansion edge
+// cases, CSV/JSON writer round-trips, and serial-vs-parallel bit identity
+// of seeded scenario runs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/registry.h"
+#include "scenario/result_sink.h"
+#include "scenario/sweep.h"
+#include "util/csv.h"
+#include "util/error.h"
+
+namespace mram::scn {
+namespace {
+
+// --- registry ---------------------------------------------------------------
+
+TEST(ScenarioRegistry, GlobalHoldsTheBuiltinCatalog) {
+  const auto& registry = ScenarioRegistry::global();
+  EXPECT_GE(registry.size(), 15u);
+  const auto names = registry.names();
+  EXPECT_EQ(names.size(), registry.size());
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  // The flagship figures are present.
+  for (const char* name : {"fig2a_rh_loop", "fig2b_intra_vs_ecd", "fig5_tw",
+                           "wer_pulse_width", "yield_vs_pitch"}) {
+    EXPECT_NE(registry.find(name), nullptr) << name;
+  }
+}
+
+TEST(ScenarioRegistry, DescribeMetadataIsComplete) {
+  const auto& registry = ScenarioRegistry::global();
+  for (const auto& name : registry.names()) {
+    const auto& info = registry.at(name).info;
+    EXPECT_EQ(info.name, name);
+    EXPECT_FALSE(info.figure.empty()) << name;
+    EXPECT_FALSE(info.summary.empty()) << name;
+    EXPECT_FALSE(info.details.empty()) << name;
+    EXPECT_FALSE(info.params.empty()) << name << " has no parameter schema";
+  }
+}
+
+TEST(ScenarioRegistry, LookupErrors) {
+  const auto& registry = ScenarioRegistry::global();
+  EXPECT_EQ(registry.find("no_such_scenario"), nullptr);
+  EXPECT_THROW(registry.at("no_such_scenario"), util::ConfigError);
+}
+
+TEST(ScenarioRegistry, RejectsDuplicatesAndInvalid) {
+  ScenarioRegistry registry;
+  Scenario s;
+  s.info.name = "dup";
+  s.run = [](ScenarioContext&) { return ResultSet{}; };
+  registry.add(s);
+  EXPECT_THROW(registry.add(s), util::ConfigError);
+
+  Scenario unnamed;
+  unnamed.run = s.run;
+  EXPECT_THROW(registry.add(unnamed), util::ConfigError);
+
+  Scenario runless;
+  runless.info.name = "runless";
+  EXPECT_THROW(registry.add(runless), util::ConfigError);
+}
+
+// --- grid expansion ---------------------------------------------------------
+
+TEST(Grid, StepAxisHasExactCount) {
+  // The former floating-point loop `for (vp = 0.70; vp <= 1.205; vp += 0.05)`
+  // as an integer-indexed axis: exactly 11 points, each computed by index
+  // multiplication, on every platform.
+  const auto axis = GridAxis::step("vp", 0.70, 0.05, 11);
+  ASSERT_EQ(axis.size(), 11u);
+  EXPECT_DOUBLE_EQ(axis.values.front(), 0.70);
+  EXPECT_DOUBLE_EQ(axis.values.back(), 0.70 + 10 * 0.05);
+  for (std::size_t i = 0; i < axis.size(); ++i) {
+    EXPECT_DOUBLE_EQ(axis.values[i], 0.70 + static_cast<double>(i) * 0.05);
+  }
+}
+
+TEST(Grid, LinspaceEndpointsAreExact) {
+  const auto axis = GridAxis::linspace("x", -1.5, 4.5, 7);
+  ASSERT_EQ(axis.size(), 7u);
+  EXPECT_DOUBLE_EQ(axis.values.front(), -1.5);
+  EXPECT_DOUBLE_EQ(axis.values.back(), 4.5);
+}
+
+TEST(Grid, SinglePointAxes) {
+  EXPECT_EQ(GridAxis::linspace("x", 3.0, 9.0, 1).values,
+            std::vector<double>{3.0});
+  EXPECT_EQ(GridAxis::step("x", 2.0, 0.5, 1).values,
+            std::vector<double>{2.0});
+  const Grid grid(GridAxis::list("x", {42.0}));
+  ASSERT_EQ(grid.size(), 1u);
+  EXPECT_DOUBLE_EQ(grid.point(0).x, 42.0);
+}
+
+TEST(Grid, EmptyRangeYieldsEmptyGrid) {
+  EXPECT_EQ(GridAxis::step("x", 0.0, 1.0, 0).size(), 0u);
+  EXPECT_EQ(GridAxis::linspace("x", 0.0, 1.0, 0).size(), 0u);
+
+  const Grid empty(GridAxis::list("x", {}));
+  EXPECT_EQ(empty.size(), 0u);
+  // A 2-D grid with one empty axis is empty as a whole.
+  const Grid half_empty(GridAxis::list("x", {1.0, 2.0}),
+                        GridAxis::list("y", {}));
+  EXPECT_EQ(half_empty.size(), 0u);
+
+  // Sweeping an empty grid produces a well-formed table with no rows.
+  eng::MonteCarloRunner runner(eng::RunnerConfig{1, 64});
+  SweepDriver driver(runner, 1);
+  const auto table = driver.sweep(
+      "empty", "empty", {"x"}, empty,
+      [](const SweepPoint&) -> std::vector<Cell> { return {Cell(0.0)}; });
+  EXPECT_EQ(table.rows.size(), 0u);
+  EXPECT_EQ(table.columns.size(), 1u);
+}
+
+TEST(Grid, TwoDimensionalRowMajorOrder) {
+  const Grid grid(GridAxis::list("outer", {10.0, 20.0}),
+                  GridAxis::list("inner", {1.0, 2.0, 3.0}));
+  ASSERT_EQ(grid.size(), 6u);
+  ASSERT_EQ(grid.dims(), 2u);
+  EXPECT_DOUBLE_EQ(grid.point(0).x, 10.0);
+  EXPECT_DOUBLE_EQ(grid.point(0).y, 1.0);
+  EXPECT_DOUBLE_EQ(grid.point(2).y, 3.0);
+  EXPECT_DOUBLE_EQ(grid.point(3).x, 20.0);
+  EXPECT_DOUBLE_EQ(grid.point(3).y, 1.0);
+  EXPECT_DOUBLE_EQ(grid.point(5).y, 3.0);
+  EXPECT_THROW(grid.point(6), util::ContractViolation);
+}
+
+TEST(SweepDriver, PointSeedsAreDeterministicAndDistinct) {
+  eng::MonteCarloRunner runner(eng::RunnerConfig{1, 64});
+  const SweepDriver a(runner, 99), b(runner, 99), c(runner, 100);
+  EXPECT_EQ(a.point_seed(0), b.point_seed(0));
+  EXPECT_EQ(a.point_seed(7), b.point_seed(7));
+  EXPECT_NE(a.point_seed(0), a.point_seed(1));
+  EXPECT_NE(a.point_seed(0), c.point_seed(0));
+}
+
+// --- result tables and sinks ------------------------------------------------
+
+ResultSet numeric_results() {
+  ResultSet results;
+  auto& t = results.add("series", "a numeric series", {"x", "y", "z"});
+  t.add_row({Cell(1.0, 4), Cell(-2.5, 4), Cell(0.125, 4)});
+  t.add_row({Cell(2.0, 4), Cell(3.75, 4), Cell(-0.0625, 4)});
+  results.notes.push_back("note");
+  return results;
+}
+
+TEST(ResultTable, RowWidthIsChecked) {
+  ResultTable t;
+  t.name = "t";
+  t.columns = {"a", "b"};
+  EXPECT_THROW(t.add_row({Cell(1.0)}), util::ConfigError);
+}
+
+TEST(ResultSink, CsvRoundTripsThroughTheRepoParser) {
+  const auto results = numeric_results();
+  const auto doc = util::parse_numeric_csv(results.tables[0].to_csv());
+  ASSERT_EQ(doc.header.size(), 3u);
+  EXPECT_EQ(doc.header[1], "y");
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(doc.rows[0][1], -2.5);
+  EXPECT_DOUBLE_EQ(doc.rows[1][2], -0.0625);
+}
+
+TEST(ResultSink, CsvQuotesSpecialCells) {
+  ResultSet results;
+  auto& t = results.add("q", "quoting", {"name", "value"});
+  t.add_row({Cell("comma, inside"), Cell(1.0, 2)});
+  t.add_row({Cell("quote \" inside"), Cell(2.0, 2)});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"comma, inside\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote \"\" inside\""), std::string::npos);
+}
+
+TEST(ResultSink, JsonEscapesAndTypesCells) {
+  const std::string escaped = json_escape("a\"b\\c\nd\te");
+  EXPECT_EQ(escaped, "a\\\"b\\\\c\\nd\\te");
+
+  ResultSet results;
+  auto& t = results.add("mixed", "mixed cells", {"label", "v"});
+  t.add_row({Cell("say \"hi\""), Cell(2.5, 2)});
+  const ScenarioInfo info{"unit", "Test", "summary", "details", {}};
+  const RunMeta meta{7, 2, 1.0};
+  const std::string doc = to_json(info, meta, results);
+
+  // Numeric cells are bare JSON numbers; strings are escaped and quoted.
+  EXPECT_NE(doc.find("[\"say \\\"hi\\\"\", 2.50]"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"scenario\": \"unit\""), std::string::npos);
+  EXPECT_NE(doc.find("\"seed\": 7"), std::string::npos);
+  EXPECT_NE(doc.find("\"threads\": 2"), std::string::npos);
+
+  // Balanced braces/brackets (a cheap structural sanity check).
+  EXPECT_EQ(std::count(doc.begin(), doc.end(), '{'),
+            std::count(doc.begin(), doc.end(), '}'));
+  EXPECT_EQ(std::count(doc.begin(), doc.end(), '['),
+            std::count(doc.begin(), doc.end(), ']'));
+}
+
+TEST(ResultSink, StreamSinksEmitEveryTable) {
+  const auto results = numeric_results();
+  const ScenarioInfo info{"unit", "Test", "summary", "details", {}};
+  const RunMeta meta{1, 1, 1.0};
+
+  std::ostringstream text;
+  TextSink(text).write(info, meta, results);
+  EXPECT_NE(text.str().find("a numeric series"), std::string::npos);
+  EXPECT_NE(text.str().find("note"), std::string::npos);
+
+  std::ostringstream csv;
+  CsvSink(csv).write(info, meta, results);
+  EXPECT_NE(csv.str().find("# unit/series"), std::string::npos);
+  EXPECT_NE(csv.str().find("x,y,z"), std::string::npos);
+
+  EXPECT_THROW(make_sink("yaml", std::cout, ""), util::ConfigError);
+}
+
+// --- scaled trials ----------------------------------------------------------
+
+TEST(ScenarioContext, ScaledTrialsFloorsAtOne) {
+  eng::MonteCarloRunner runner(eng::RunnerConfig{1, 64});
+  ScenarioContext ctx{runner};
+  EXPECT_EQ(ctx.scaled_trials(100), 100u);
+  ctx.trial_scale = 0.25;
+  EXPECT_EQ(ctx.scaled_trials(100), 25u);
+  ctx.trial_scale = 1e-9;
+  EXPECT_EQ(ctx.scaled_trials(100), 1u);
+}
+
+// --- serial vs parallel bit identity ----------------------------------------
+
+std::string run_to_csv(const std::string& name, unsigned threads,
+                       std::uint64_t seed) {
+  eng::RunnerConfig cfg;
+  cfg.threads = threads;
+  eng::MonteCarloRunner runner(cfg);
+  ScenarioContext ctx{runner};
+  ctx.seed = seed;
+  ctx.trial_scale = 0.25;  // keep the stochastic scenarios test-sized
+  const auto& scenario = ScenarioRegistry::global().at(name);
+  const ResultSet results = scenario.run(ctx);
+  std::string csv;
+  for (const auto& table : results.tables) csv += table.to_csv();
+  return csv;
+}
+
+TEST(ScenarioDeterminism, SeededRunsAreBitIdenticalAcrossThreadCounts) {
+  // The acceptance contract: a seeded scenario emits byte-identical CSV on
+  // 1 thread and on 4. Covers the heaviest runner users.
+  for (const char* name : {"wer_pulse_width", "fig2b_intra_vs_ecd"}) {
+    const std::string serial = run_to_csv(name, 1, 31337);
+    const std::string parallel = run_to_csv(name, 4, 31337);
+    EXPECT_EQ(serial, parallel) << name;
+    EXPECT_FALSE(serial.empty()) << name;
+  }
+}
+
+TEST(ScenarioDeterminism, DifferentSeedsChangeStochasticResults) {
+  const std::string a = run_to_csv("wer_pulse_width", 2, 1);
+  const std::string b = run_to_csv("wer_pulse_width", 2, 2);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace mram::scn

@@ -1,0 +1,214 @@
+// mram_scenarios: the scenario CLI. One binary lists, describes and runs
+// every registered scenario -- the whole figure-reproduction evaluation as
+// a parallel, seed-reproducible, scriptable pipeline.
+//
+//   mram_scenarios list
+//   mram_scenarios describe <name>
+//   mram_scenarios run <name> [<name>...] | --all
+//                  [--threads N] [--seed S] [--format table|csv|json]
+//                  [--out DIR] [--data DIR] [--trial-scale X]
+//
+// `run` executes each scenario on a shared MonteCarloRunner; for a fixed
+// --seed the emitted tables are bit-identical at any --threads. With
+// --out, results go to files (csv: one per table; json/table: one per
+// scenario) and a one-line status per scenario goes to stdout. The exit
+// code is non-zero when any requested scenario fails.
+
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "scenario/registry.h"
+#include "scenario/result_sink.h"
+#include "util/error.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace mram;
+
+std::uint64_t parse_u64(const std::string& flag, const std::string& s) {
+  if (s.empty() ||
+      s.find_first_not_of("0123456789") != std::string::npos) {
+    throw util::ConfigError(flag + " expects a non-negative integer, got '" +
+                            s + "'");
+  }
+  try {
+    return std::stoull(s);
+  } catch (const std::exception&) {
+    throw util::ConfigError(flag + " value '" + s + "' is out of range");
+  }
+}
+
+unsigned parse_threads(const std::string& s) {
+  const std::uint64_t n = parse_u64("--threads", s);
+  if (n > 1024) {
+    throw util::ConfigError("--threads " + s +
+                            " is absurd (max 1024; 0 = all cores)");
+  }
+  return static_cast<unsigned>(n);
+}
+
+int usage(std::ostream& os, int code) {
+  os << "usage:\n"
+        "  mram_scenarios list\n"
+        "  mram_scenarios describe <name>\n"
+        "  mram_scenarios run <name> [<name>...] | --all\n"
+        "                 [--threads N] [--seed S]\n"
+        "                 [--format table|csv|json] [--out DIR]\n"
+        "                 [--data DIR] [--trial-scale X]\n";
+  return code;
+}
+
+int cmd_list() {
+  const auto& registry = scn::ScenarioRegistry::global();
+  util::Table t({"name", "figure", "summary"});
+  for (const auto& name : registry.names()) {
+    const auto& info = registry.at(name).info;
+    t.add_row({info.name, info.figure, info.summary});
+  }
+  t.print(std::cout, std::to_string(registry.size()) +
+                         " registered scenarios");
+  return 0;
+}
+
+int cmd_describe(const std::string& name) {
+  const auto& info = scn::ScenarioRegistry::global().at(name).info;
+  std::cout << info.name << " (" << info.figure << ")\n"
+            << info.summary << "\n\n"
+            << info.details << "\n";
+  if (!info.params.empty()) {
+    util::Table t({"parameter", "value", "description"});
+    for (const auto& p : info.params) {
+      t.add_row({p.name, p.value, p.description});
+    }
+    t.print(std::cout, "parameters");
+  }
+  return 0;
+}
+
+struct RunOptions {
+  std::vector<std::string> names;
+  bool all = false;
+  unsigned threads = 0;  // 0 = hardware concurrency
+  std::uint64_t seed = scn::ScenarioContext::kDefaultSeed;
+  std::string format = "table";
+  std::string out_dir;
+  std::string data_dir = "data";
+  double trial_scale = 1.0;
+};
+
+int cmd_run(const RunOptions& opt) {
+  const auto& registry = scn::ScenarioRegistry::global();
+  std::vector<std::string> names =
+      opt.all ? registry.names() : opt.names;
+  if (names.empty()) {
+    std::cerr << "run: no scenarios selected (name them or pass --all)\n";
+    return 2;
+  }
+  for (const auto& name : names) registry.at(name);  // fail fast on typos
+
+  if (!opt.out_dir.empty()) {
+    std::filesystem::create_directories(opt.out_dir);
+  }
+  const auto sink = scn::make_sink(opt.format, std::cout, opt.out_dir);
+
+  eng::RunnerConfig runner_cfg;
+  runner_cfg.threads = opt.threads;
+  eng::MonteCarloRunner runner(runner_cfg);  // one pool for the whole run
+
+  int failures = 0;
+  for (const auto& name : names) {
+    const auto& scenario = registry.at(name);
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      scn::ScenarioContext ctx{runner};
+      ctx.seed = opt.seed;
+      ctx.data_dir = opt.data_dir;
+      ctx.trial_scale = opt.trial_scale;
+      const scn::ResultSet results = scenario.run(ctx);
+      const scn::RunMeta meta{opt.seed, runner.threads(), opt.trial_scale};
+      sink->write(scenario.info, meta, results);
+      if (!opt.out_dir.empty()) {
+        const double secs =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+        std::cout << "ok   " << name << " (" << results.tables.size()
+                  << " tables, " << util::format_double(secs, 2) << " s)\n";
+      }
+    } catch (const std::exception& e) {
+      ++failures;
+      std::cerr << "FAIL " << name << ": " << e.what() << "\n";
+    }
+  }
+  if (failures > 0) {
+    std::cerr << failures << " of " << names.size()
+              << " scenarios failed\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    if (args.empty()) return usage(std::cerr, 2);
+    const std::string& command = args[0];
+    if (command == "help" || command == "--help" || command == "-h") {
+      return usage(std::cout, 0);
+    }
+    if (command == "list") return cmd_list();
+    if (command == "describe") {
+      if (args.size() != 2) return usage(std::cerr, 2);
+      return cmd_describe(args[1]);
+    }
+    if (command == "run") {
+      RunOptions opt;
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        const std::string& a = args[i];
+        auto value = [&]() -> const std::string& {
+          if (++i >= args.size()) {
+            throw util::ConfigError("missing value after " + a);
+          }
+          return args[i];
+        };
+        if (a == "--all") {
+          opt.all = true;
+        } else if (a == "--threads") {
+          opt.threads = parse_threads(value());
+        } else if (a == "--seed") {
+          opt.seed = parse_u64("--seed", value());
+        } else if (a == "--format") {
+          opt.format = value();
+        } else if (a == "--out") {
+          opt.out_dir = value();
+        } else if (a == "--data") {
+          opt.data_dir = value();
+        } else if (a == "--trial-scale") {
+          opt.trial_scale = std::stod(value());
+          if (!(opt.trial_scale > 0.0)) {
+            throw util::ConfigError("--trial-scale must be positive");
+          }
+        } else if (!a.empty() && a[0] == '-') {
+          std::cerr << "unknown option " << a << "\n";
+          return usage(std::cerr, 2);
+        } else {
+          opt.names.push_back(a);
+        }
+      }
+      return cmd_run(opt);
+    }
+    std::cerr << "unknown command '" << command << "'\n";
+    return usage(std::cerr, 2);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
