@@ -3,10 +3,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "array/array_field.h"
 #include "array/intercell.h"
 #include "device/mtj_device.h"
 #include "dynamics/llg.h"
+#include "dynamics/llg_batch.h"
 #include "engine/monte_carlo.h"
 #include "magnetics/current_loop.h"
 #include "mram/mram_array.h"
@@ -133,6 +136,66 @@ void BM_LlgRunAdaptiveRk45(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LlgRunAdaptiveRk45);
+
+// --- stochastic-LLG trial loop: scalar vs batched SoA kernel ----------------
+//
+// The hot loop of every switching-time / WER-adjacent stochastic study: B
+// independent thermal trials integrated over a fixed window (mz_stop = -2
+// disables early exit so both paths do identical work). The batched kernel
+// advances the B trials in lockstep over SoA lanes; the items/s rate is
+// trials/s, so the batched-vs-scalar ratio at the same trial count is the
+// throughput speedup of the migration. BENCH_llg_batch.json commits these
+// numbers (see README "Performance").
+
+constexpr std::size_t kLlgBenchTrials = 16;
+constexpr double kLlgBenchDuration = 1e-9;
+constexpr double kLlgBenchDt = 1e-12;
+
+dyn::LlgParams bench_stochastic_llg_params() {
+  dyn::LlgParams p;
+  p.current = 120e-6;
+  p.temperature = 300.0;
+  return p;
+}
+
+void BM_LlgSwitchTrialsScalar(benchmark::State& state) {
+  const dyn::MacrospinSim sim(bench_stochastic_llg_params());
+  const num::Vec3 m0 = num::normalized({0.05, 0.0, -1.0});
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kLlgBenchTrials; ++i) {
+      util::Rng rng = util::Rng::stream(7, i);
+      benchmark::DoNotOptimize(
+          sim.run_until_switch(m0, kLlgBenchDuration, kLlgBenchDt, rng,
+                               -2.0));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kLlgBenchTrials));
+}
+BENCHMARK(BM_LlgSwitchTrialsScalar);
+
+void BM_LlgSwitchTrialsBatched(benchmark::State& state) {
+  const std::size_t lanes = static_cast<std::size_t>(state.range(0));
+  dyn::BatchMacrospinSim batch(bench_stochastic_llg_params());
+  const num::Vec3 m0_one = num::normalized({0.05, 0.0, -1.0});
+  std::vector<num::Vec3> m0(lanes, m0_one);
+  std::vector<util::Rng> rngs(lanes, util::Rng(0));
+  std::vector<dyn::SwitchResult> out(lanes);
+  for (auto _ : state) {
+    for (std::size_t base = 0; base < kLlgBenchTrials; base += lanes) {
+      const std::size_t n = std::min(lanes, kLlgBenchTrials - base);
+      for (std::size_t l = 0; l < n; ++l) {
+        rngs[l] = util::Rng::stream(7, base + l);
+      }
+      batch.run_until_switch(n, m0.data(), rngs.data(), kLlgBenchDuration,
+                             kLlgBenchDt, out.data(), -2.0);
+      benchmark::DoNotOptimize(out.data());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kLlgBenchTrials));
+}
+BENCHMARK(BM_LlgSwitchTrialsBatched)->Arg(1)->Arg(4)->Arg(8)->Arg(16);
 
 // --- cached coupling kernel -------------------------------------------------
 

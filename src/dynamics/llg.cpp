@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "dynamics/llg_heun_step.h"
 #include "util/constants.h"
 #include "util/error.h"
 
@@ -109,16 +110,59 @@ Vec3 MacrospinSim::run_adaptive(const Vec3& m0, double duration,
   return m;
 }
 
-double MacrospinSim::thermal_field_sigma(double dt) const {
-  if (params_.temperature <= 0.0) return 0.0;
+double thermal_field_sigma(const LlgParams& params, double dt) {
+  if (params.temperature <= 0.0) return 0.0;
   MRAM_EXPECTS(dt > 0.0, "dt must be positive");
   // sigma^2 = 2 alpha kB T / (gamma mu0^2 Ms V dt)  (Brown 1963).
-  const double var = 2.0 * params_.alpha * util::kBoltzmann *
-                     params_.temperature /
+  const double var = 2.0 * params.alpha * util::kBoltzmann *
+                     params.temperature /
                      (util::kGyromagneticRatio * util::kMu0 * util::kMu0 *
-                      params_.ms * params_.volume * dt);
+                      params.ms * params.volume * dt);
   return std::sqrt(var);
 }
+
+double MacrospinSim::thermal_field_sigma(double dt) const {
+  return dyn::thermal_field_sigma(params_, dt);
+}
+
+namespace {
+
+/// The scalar stochastic Heun loop over the canonical shared step
+/// (llg_heun_step.h), with the thermal-noise and spin-torque branches
+/// hoisted to compile time. Noise is drawn three components per step
+/// through Rng::normal_fill -- the same sampler, values and order the
+/// batched kernel consumes, which (together with the shared step) keeps
+/// the scalar and batched paths bit-identical.
+template <bool kHasTorque, bool kHasNoise>
+SwitchResult run_switch_loop(const detail::HeunStepCoeffs& coeffs,
+                             const Vec3& h_applied, double sigma,
+                             const Vec3& m0, double duration, double dt,
+                             util::Rng& rng, double mz_stop) {
+  const double start_sign = (m0.z >= mz_stop) ? 1.0 : -1.0;
+  double mx = m0.x, my = m0.y, mz = m0.z;
+  double fx = h_applied.x, fy = h_applied.y, fz = h_applied.z;
+  double noise[3];
+  double t = 0.0;
+  while (t < duration) {
+    if constexpr (kHasNoise) {
+      rng.normal_fill(noise, 3);
+      fx = h_applied.x + sigma * noise[0];
+      fy = h_applied.y + sigma * noise[1];
+      fz = h_applied.z + sigma * noise[2];
+    }
+    // Heun predictor-corrector (Stratonovich-consistent with the frozen
+    // thermal field across the step). m is unit by invariant, so k1 needs
+    // no projection.
+    detail::stochastic_heun_step<kHasTorque>(coeffs, fx, fy, fz, mx, my, mz);
+    t += dt;
+    if (start_sign * (mz - mz_stop) < 0.0) {
+      return {true, t};
+    }
+  }
+  return {false, duration};
+}
+
+}  // namespace
 
 SwitchResult MacrospinSim::run_until_switch(const Vec3& m0, double duration,
                                             double dt, util::Rng& rng,
@@ -127,29 +171,21 @@ SwitchResult MacrospinSim::run_until_switch(const Vec3& m0, double duration,
   MRAM_EXPECTS(std::abs(num::norm(m0) - 1.0) < 1e-6,
                "m0 must be a unit vector");
 
-  const double start_sign = (m0.z >= mz_stop) ? 1.0 : -1.0;
   const double sigma = thermal_field_sigma(dt);
-  // Copy the precomputed RHS once; only the thermal field changes per step.
-  LlgRhs stochastic = rhs_;
-  const ProjectedRhs f{stochastic};
-  Vec3 m = m0;
-  double t = 0.0;
-  while (t < duration) {
-    if (sigma > 0.0) {
-      stochastic.h = {params_.h_applied.x + rng.normal(0.0, sigma),
-                      params_.h_applied.y + rng.normal(0.0, sigma),
-                      params_.h_applied.z + rng.normal(0.0, sigma)};
-    }
-    // Heun predictor-corrector (Stratonovich-consistent with the frozen
-    // thermal field across the step). m is unit by invariant, so k1 needs
-    // no projection.
-    m = num::normalized(num::HeunSolver::step(f, t, m, dt, stochastic(t, m)));
-    t += dt;
-    if (start_sign * (m.z - mz_stop) < 0.0) {
-      return {true, t};
-    }
+  const auto coeffs = detail::HeunStepCoeffs::from(rhs_, dt);
+  const Vec3& h = params_.h_applied;
+  if (rhs_.aj != 0.0) {
+    return (sigma > 0.0)
+               ? run_switch_loop<true, true>(coeffs, h, sigma, m0, duration,
+                                             dt, rng, mz_stop)
+               : run_switch_loop<true, false>(coeffs, h, sigma, m0, duration,
+                                              dt, rng, mz_stop);
   }
-  return {false, duration};
+  return (sigma > 0.0)
+             ? run_switch_loop<false, true>(coeffs, h, sigma, m0, duration,
+                                            dt, rng, mz_stop)
+             : run_switch_loop<false, false>(coeffs, h, sigma, m0, duration,
+                                             dt, rng, mz_stop);
 }
 
 }  // namespace mram::dyn

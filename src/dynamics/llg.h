@@ -77,6 +77,10 @@ struct SwitchResult {
   double time = 0.0;  ///< time of the mz zero crossing [s]
 };
 
+/// Thermal field standard deviation per component for step dt [A/m]
+/// (Brown 1963). Shared by the scalar and batched stochastic kernels.
+double thermal_field_sigma(const LlgParams& params, double dt);
+
 class MacrospinSim {
  public:
   explicit MacrospinSim(const LlgParams& params);

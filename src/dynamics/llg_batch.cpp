@@ -1,0 +1,290 @@
+#include "dynamics/llg_batch.h"
+
+#include <cmath>
+#include <type_traits>
+
+#include "dynamics/llg_heun_step.h"
+#include "util/constants.h"
+#include "util/error.h"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define MRAM_RESTRICT __restrict__
+// Keep the lane kernel an out-of-line function even under LTO: restrict is
+// only honored on function *parameters*, so inlining it into the caller
+// would degrade the pointers to locals and silently kill vectorization.
+#define MRAM_NOINLINE __attribute__((noinline))
+#define MRAM_ALWAYS_INLINE inline __attribute__((always_inline))
+#else
+#define MRAM_RESTRICT
+#define MRAM_NOINLINE
+#define MRAM_ALWAYS_INLINE inline
+#endif
+
+// Runtime-dispatched SIMD width for the lane loop on x86-64: the portable
+// baseline only guarantees SSE2 (2 doubles/op), so the default build would
+// leave a lot on the table on AVX machines. target_clones emits one clone
+// per ISA plus an ifunc resolver picked at load time. AVX2 (4-wide) is the
+// widest clone on purpose: one Heun step is a serial dependency chain, so
+// at the default 8-lane width an AVX-512 clone packs the whole block into
+// a single latency-bound zmm chain, and measured slower than two
+// interleaved ymm chains (plus heavy zmm sqrt/div and license
+// downclocking). Safe for the bit-identity contract because vectorization
+// only reorders *independent lanes*, never the within-lane operation
+// sequence, and the build pins -ffp-contract=off so no clone can fuse
+// multiply-adds.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+#define MRAM_SIMD_CLONES __attribute__((target_clones("avx2", "default")))
+#else
+#define MRAM_SIMD_CLONES
+#endif
+
+namespace mram::dyn {
+
+using num::Vec3;
+
+BatchMacrospinSim::BatchMacrospinSim(const LlgParams& params)
+    : params_(params) {
+  params_.validate();
+  rhs_.gamma_prime = util::kGyromagneticRatio * util::kMu0 /
+                     (1.0 + params_.alpha * params_.alpha);
+  rhs_.alpha = params_.alpha;
+  rhs_.hk = params_.hk;
+  rhs_.aj = params_.spin_torque_field();
+  rhs_.h = params_.h_applied;
+  rhs_.p = params_.spin_polarization;
+}
+
+namespace {
+
+/// Steps per thermal-noise prefetch block: one normal_fill call (and one
+/// kernel call, absent switching) covers this many steps per lane.
+constexpr std::size_t kNoiseBlockSteps = 64;
+
+// Lockstep Heun steps for the first n active slots, up to `steps` of them:
+// the canonical stochastic_heun_step (shared with the scalar reference
+// path, so each lane is bit-identical to it by construction) inlined into a
+// per-lane loop over the SoA arrays, where the independent lanes fill the
+// FP pipelines and auto-vectorize. Step s reads its per-lane field from row
+// s of the [step][slot] field matrices (h_stride = 0 reuses row 0: the
+// constant-field sigma == 0 case). Returns after the first step at which
+// any lane crossed -- crossed[] then identifies the finished lanes -- or
+// after `steps` steps, whichever is first; the return value is the number
+// of steps executed. A free function with restrict-qualified *parameters*:
+// GCC only honors restrict on parameters, and without it the possible
+// aliasing between the arrays blocks vectorization.
+template <bool kHasTorque>
+MRAM_ALWAYS_INLINE std::size_t step_lanes_body(
+    std::size_t n, std::size_t steps, std::size_t h_stride,
+    double* MRAM_RESTRICT mx, double* MRAM_RESTRICT my,
+    double* MRAM_RESTRICT mz, const double* MRAM_RESTRICT hxm,
+    const double* MRAM_RESTRICT hym, const double* MRAM_RESTRICT hzm,
+    const double* MRAM_RESTRICT sign, double* MRAM_RESTRICT crossed,
+    const detail::HeunStepCoeffs& coeffs, double mz_stop) {
+  const detail::HeunStepCoeffs c = coeffs;  // loop-invariant locals
+  for (std::size_t s = 0; s < steps; ++s) {
+    const double* MRAM_RESTRICT hx = hxm + s * h_stride;
+    const double* MRAM_RESTRICT hy = hym + s * h_stride;
+    const double* MRAM_RESTRICT hz = hzm + s * h_stride;
+    double any = 0.0;
+    for (std::size_t a = 0; a < n; ++a) {
+      detail::stochastic_heun_step<kHasTorque>(c, hx[a], hy[a], hz[a], mx[a],
+                                               my[a], mz[a]);
+      const double flag = (sign[a] * (mz[a] - mz_stop) < 0.0) ? 1.0 : 0.0;
+      crossed[a] = flag;
+      any += flag;
+    }
+    if (any != 0.0) return s + 1;
+  }
+  return steps;
+}
+
+template <bool kHasTorque>
+MRAM_NOINLINE MRAM_SIMD_CLONES std::size_t step_lanes_block(
+    std::size_t n, std::size_t steps, std::size_t h_stride,
+    double* MRAM_RESTRICT mx, double* MRAM_RESTRICT my,
+    double* MRAM_RESTRICT mz, const double* MRAM_RESTRICT hxm,
+    const double* MRAM_RESTRICT hym, const double* MRAM_RESTRICT hzm,
+    const double* MRAM_RESTRICT sign, double* MRAM_RESTRICT crossed,
+    const detail::HeunStepCoeffs& coeffs, double mz_stop) {
+  return step_lanes_body<kHasTorque>(n, steps, h_stride, mx, my, mz, hxm,
+                                     hym, hzm, sign, crossed, coeffs,
+                                     mz_stop);
+}
+
+// Fixed-width specialization for full kDefaultLanes blocks -- the common
+// case by far. The compile-time lane count removes the vector epilogue and
+// all dynamic-bound loop overhead from the hot step loop.
+template <bool kHasTorque>
+MRAM_NOINLINE MRAM_SIMD_CLONES std::size_t step_lanes_block_w8(
+    std::size_t steps, std::size_t h_stride, double* MRAM_RESTRICT mx,
+    double* MRAM_RESTRICT my, double* MRAM_RESTRICT mz,
+    const double* MRAM_RESTRICT hxm, const double* MRAM_RESTRICT hym,
+    const double* MRAM_RESTRICT hzm, const double* MRAM_RESTRICT sign,
+    double* MRAM_RESTRICT crossed, const detail::HeunStepCoeffs& coeffs,
+    double mz_stop) {
+  static_assert(BatchMacrospinSim::kDefaultLanes == 8);
+  return step_lanes_body<kHasTorque>(8, steps, h_stride, mx, my, mz, hxm,
+                                     hym, hzm, sign, crossed, coeffs,
+                                     mz_stop);
+}
+
+}  // namespace
+
+void BatchMacrospinSim::run_until_switch(std::size_t lanes, const Vec3* m0,
+                                         util::Rng* rngs, double duration,
+                                         double dt, SwitchResult* out,
+                                         double mz_stop) {
+  MRAM_EXPECTS(dt > 0.0 && duration > 0.0, "invalid integration window");
+  MRAM_EXPECTS(lanes > 0, "need at least one lane");
+
+  mx_.resize(lanes);
+  my_.resize(lanes);
+  mz_.resize(lanes);
+  h0x_.resize(lanes);
+  h0y_.resize(lanes);
+  h0z_.resize(lanes);
+  sign_.resize(lanes);
+  crossed_.resize(lanes);
+  lane_of_.resize(lanes);
+
+  for (std::size_t l = 0; l < lanes; ++l) {
+    MRAM_EXPECTS(std::abs(num::norm(m0[l]) - 1.0) < 1e-6,
+                 "m0 must be a unit vector");
+    mx_[l] = m0[l].x;
+    my_[l] = m0[l].y;
+    mz_[l] = m0[l].z;
+    h0x_[l] = params_.h_applied.x;
+    h0y_[l] = params_.h_applied.y;
+    h0z_[l] = params_.h_applied.z;
+    sign_[l] = (m0[l].z >= mz_stop) ? 1.0 : -1.0;
+    lane_of_[l] = l;
+    out[l] = {false, duration};
+  }
+
+  const double sigma = thermal_field_sigma(params_, dt);
+  const bool has_torque = (rhs_.aj != 0.0);
+  const Vec3 ha = params_.h_applied;
+  const auto coeffs = detail::HeunStepCoeffs::from(rhs_, dt);
+  const std::size_t cap = lanes;  // column count of the field matrices
+
+  // Thermal history is prefetched per lane in blocks of kNoiseBlockSteps
+  // steps: one paired normal_fill call amortizes its dispatch over 3 * 64
+  // values and scatters them straight into the [step][slot] raw-noise
+  // matrices (no transpose pass), so the kernel consumes a whole block per
+  // call with plain contiguous vector loads, applying the scalar loop's
+  // exact field transform h = h_applied + sigma * n lane-parallel as it
+  // goes. normal_fill's stream consistency (one big fill == many 3-value
+  // fills) keeps the consumed values identical to the scalar path's
+  // per-step draws.
+  if (sigma > 0.0) {
+    scratch_.resize(2 * 3 * kNoiseBlockSteps);
+    hxm_.resize(kNoiseBlockSteps * cap);
+    hym_.resize(kNoiseBlockSteps * cap);
+    hzm_.resize(kNoiseBlockSteps * cap);
+  }
+
+  std::size_t n_active = lanes;
+  double t = 0.0;
+  std::size_t phase = 0;  // step index within the current noise block
+  while (t < duration && n_active > 0) {
+    std::size_t steps_avail = kNoiseBlockSteps;
+    const double* hxm = h0x_.data();
+    const double* hym = h0y_.data();
+    const double* hzm = h0z_.data();
+    std::size_t h_stride = 0;
+    if (sigma > 0.0) {
+      if (phase == 0) {
+        // The applied-plus-noise transform is the exact expression of the
+        // scalar loop's field assembly, applied at prefetch time. Lanes
+        // refill two at a time: normal_fill_pair interleaves two
+        // independent xoshiro chains, which nearly doubles the fill rate
+        // of this (otherwise serial-chain-bound) pass.
+        constexpr std::size_t kPerLane = 3 * kNoiseBlockSteps;
+        const auto transform_into = [&](std::size_t slot, const double* raw) {
+          for (std::size_t s = 0; s < kNoiseBlockSteps; ++s) {
+            hxm_[s * cap + slot] = ha.x + sigma * raw[3 * s];
+            hym_[s * cap + slot] = ha.y + sigma * raw[3 * s + 1];
+            hzm_[s * cap + slot] = ha.z + sigma * raw[3 * s + 2];
+          }
+        };
+        std::size_t a = 0;
+        for (; a + 1 < n_active; a += 2) {
+          util::Rng::normal_fill_pair(rngs[lane_of_[a]],
+                                      rngs[lane_of_[a + 1]], scratch_.data(),
+                                      scratch_.data() + kPerLane, kPerLane);
+          transform_into(a, scratch_.data());
+          transform_into(a + 1, scratch_.data() + kPerLane);
+        }
+        if (a < n_active) {
+          rngs[lane_of_[a]].normal_fill(scratch_.data(), kPerLane);
+          transform_into(a, scratch_.data());
+        }
+      }
+      steps_avail = kNoiseBlockSteps - phase;
+      hxm = hxm_.data() + phase * cap;
+      hym = hym_.data() + phase * cap;
+      hzm = hzm_.data() + phase * cap;
+      h_stride = cap;
+    }
+
+    // Number of steps the scalar while-loop would still run, replaying its
+    // exact floating-point accumulation of t.
+    std::size_t remaining = 0;
+    for (double tt = t; tt < duration && remaining < steps_avail;
+         ++remaining) {
+      tt += dt;
+    }
+
+    const auto kernel = [&](auto torque) -> std::size_t {
+      constexpr bool kT = decltype(torque)::value;
+      if (n_active == kDefaultLanes) {
+        return step_lanes_block_w8<kT>(remaining, h_stride, mx_.data(),
+                                       my_.data(), mz_.data(), hxm, hym, hzm,
+                                       sign_.data(), crossed_.data(), coeffs,
+                                       mz_stop);
+      }
+      return step_lanes_block<kT>(n_active, remaining, h_stride, mx_.data(),
+                                  my_.data(), mz_.data(), hxm, hym, hzm,
+                                  sign_.data(), crossed_.data(), coeffs,
+                                  mz_stop);
+    };
+    const std::size_t done = has_torque ? kernel(std::true_type{})
+                                        : kernel(std::false_type{});
+    for (std::size_t s = 0; s < done; ++s) t += dt;
+    if (sigma > 0.0) phase = (phase + done) % kNoiseBlockSteps;
+
+    bool any_crossed = false;
+    for (std::size_t a = 0; a < n_active; ++a) {
+      any_crossed |= (crossed_[a] != 0.0);
+    }
+    if (!any_crossed) continue;
+    // Compact finished lanes out of the active set (order-preserving, so
+    // slot order stays the trial-index order within the block), dragging
+    // the remaining rows of the field matrices along.
+    std::size_t w = 0;
+    for (std::size_t a = 0; a < n_active; ++a) {
+      if (crossed_[a] != 0.0) {
+        out[lane_of_[a]] = {true, t};
+        continue;
+      }
+      if (w != a) {
+        mx_[w] = mx_[a];
+        my_[w] = my_[a];
+        mz_[w] = mz_[a];
+        sign_[w] = sign_[a];
+        lane_of_[w] = lane_of_[a];
+        if (sigma > 0.0 && phase != 0) {
+          for (std::size_t s = phase; s < kNoiseBlockSteps; ++s) {
+            hxm_[s * cap + w] = hxm_[s * cap + a];
+            hym_[s * cap + w] = hym_[s * cap + a];
+            hzm_[s * cap + w] = hzm_[s * cap + a];
+          }
+        }
+      }
+      ++w;
+    }
+    n_active = w;
+  }
+}
+
+}  // namespace mram::dyn

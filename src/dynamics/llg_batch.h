@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dynamics/llg.h"
+#include "numerics/vec3.h"
+#include "util/rng.h"
+
+// Batched structure-of-arrays stochastic-LLG kernel.
+//
+// MacrospinSim::run_until_switch integrates one trial at a time: every Heun
+// stage is a serial dependency chain of ~100 flops, so a superscalar core
+// spends most of each step waiting on latencies. BatchMacrospinSim advances
+// a lane-block of B *independent* trials in lockstep over SoA double arrays.
+// The per-lane step is the canonical stochastic_heun_step shared with the
+// scalar path (llg_heun_step.h), inlined into a lane loop that the compiler
+// auto-vectorizes -- with an AVX2 clone dispatched at load time on x86-64
+// (deliberately not AVX-512: see llg_batch.cpp) -- and driven for up to a
+// whole thermal-noise block (64 steps) per
+// kernel call, with an early return as soon as any lane's mz crosses the
+// stop plane.
+//
+// Determinism contract: lane l draws its thermal field from its own
+// util::Rng via Rng::normal_fill (the same sampler and order the scalar
+// path consumes), and the per-lane arithmetic is the same inline code, so
+// every lane's SwitchResult is bit-identical to
+// MacrospinSim::run_until_switch on the same stream -- tests/test_dynamics
+// asserts this, remainder blocks and B=1 included. Finished lanes are
+// compacted out of the active set so a block whose trials switch early
+// stops costing work.
+
+namespace mram::dyn {
+
+class BatchMacrospinSim {
+ public:
+  /// Default lane-block width of the batched Monte Carlo paths. Wide enough
+  /// to keep 8 independent Heun chains in flight (two interleaved 4-wide
+  /// AVX2 vectors on x86-64), small enough that early-switching lanes do
+  /// not leave much dead work before compaction.
+  static constexpr std::size_t kDefaultLanes = 8;
+
+  explicit BatchMacrospinSim(const LlgParams& params);
+
+  const LlgParams& params() const { return params_; }
+
+  /// Advances `lanes` independent stochastic trials in lockstep. Lane l
+  /// starts at m0[l] (unit vectors), draws its thermal field from rngs[l],
+  /// and writes its result to out[l]. Results per lane are exactly
+  /// MacrospinSim::run_until_switch(m0[l], duration, dt, rngs[l], mz_stop).
+  /// The thermal history is prefetched from each lane's rng in blocks, so
+  /// the kernel may consume *more* values from rngs[l] than the scalar path
+  /// would (the values actually used are the same ones, in the same order);
+  /// callers must not draw further randomness from a lane's rng after the
+  /// call and expect scalar-path agreement.
+  void run_until_switch(std::size_t lanes, const num::Vec3* m0,
+                        util::Rng* rngs, double duration, double dt,
+                        SwitchResult* out, double mz_stop = 0.0);
+
+ private:
+  LlgParams params_;
+  LlgRhs rhs_;  ///< precomputed gamma', a_j (shared across lanes)
+
+  // SoA workspace, indexed by *active* slot (compacted as lanes finish).
+  // Kept as members so one BatchMacrospinSim per chunk context amortizes
+  // the allocations over every lane-block of the chunk.
+  std::vector<double> mx_, my_, mz_;   ///< magnetization lanes
+  std::vector<double> h0x_, h0y_, h0z_;  ///< constant field row (sigma == 0)
+  std::vector<double> sign_;           ///< per-lane start_sign
+  std::vector<double> crossed_;        ///< per-lane crossing flag (0/1)
+  std::vector<std::size_t> lane_of_;   ///< active slot -> caller lane
+  std::vector<double> scratch_;        ///< one lane's raw prefetch block
+  std::vector<double> hxm_, hym_, hzm_;  ///< raw-noise matrices [step][slot]
+                                         ///< of the current prefetch block
+};
+
+}  // namespace mram::dyn

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "dynamics/llg_batch.h"
 #include "engine/monte_carlo.h"
 #include "util/constants.h"
 #include "util/error.h"
@@ -46,50 +47,32 @@ SwitchingStats llg_switching_stats(const dev::MtjDevice& device,
                              dt, temperature, runner);
 }
 
-SwitchingStats llg_switching_stats(const dev::MtjDevice& device,
-                                   SwitchDirection dir, double vp,
-                                   double hz_stray, std::size_t trials,
-                                   util::Rng& rng, double duration, double dt,
-                                   double temperature,
-                                   eng::MonteCarloRunner& runner) {
-  MRAM_EXPECTS(trials > 0, "need at least one trial");
-  const auto llg = llg_from_device(device, dir, vp, hz_stray, temperature);
-  const MacrospinSim sim(llg);
+namespace {
 
-  // Thermal-equilibrium initial tilt: theta^2 ~ Exp(1/Delta).
-  const double delta =
-      device.delta(initial_state(dir), hz_stray, temperature);
-  const double mz0 = (initial_state(dir) == MtjState::kParallel) ? 1.0 : -1.0;
+struct SwitchPartial {
+  util::RunningStats times;
+  std::size_t switched = 0;
 
-  struct Partial {
-    util::RunningStats times;
-    std::size_t switched = 0;
+  void merge(const SwitchPartial& o) {
+    times.merge(o.times);
+    switched += o.switched;
+  }
+};
 
-    void merge(const Partial& o) {
-      times.merge(o.times);
-      switched += o.switched;
-    }
-  };
+/// Thermal-equilibrium initial tilt: theta^2 ~ Exp(1/Delta). Consumes two
+/// uniforms from `rng` -- shared by the scalar and batched trial bodies so
+/// their stream consumption stays identical.
+Vec3 thermal_initial_tilt(util::Rng& rng, double delta, double mz0) {
+  const double u = std::max(rng.uniform(), 1e-300);
+  const double theta =
+      std::min(std::sqrt(-std::log(u) / std::max(delta, 1.0)), 0.5);
+  const double phi = rng.uniform(0.0, 2.0 * util::kPi);
+  return num::normalized({std::sin(theta) * std::cos(phi),
+                          std::sin(theta) * std::sin(phi),
+                          mz0 * std::cos(theta)});
+}
 
-  // Each trial integrates thousands of stochastic LLG steps -- the heaviest
-  // trial body in the repo and the main beneficiary of the parallel runner.
-  const std::uint64_t seed = rng();
-  const auto partial = runner.run<Partial>(
-      trials, seed, [&](util::Rng& trial_rng, std::size_t, Partial& acc) {
-        const double u = std::max(trial_rng.uniform(), 1e-300);
-        const double theta =
-            std::min(std::sqrt(-std::log(u) / std::max(delta, 1.0)), 0.5);
-        const double phi = trial_rng.uniform(0.0, 2.0 * util::kPi);
-        const Vec3 m0 = num::normalized(
-            {std::sin(theta) * std::cos(phi), std::sin(theta) * std::sin(phi),
-             mz0 * std::cos(theta)});
-        const auto result = sim.run_until_switch(m0, duration, dt, trial_rng);
-        if (result.switched) {
-          ++acc.switched;
-          acc.times.add(result.time);
-        }
-      });
-
+SwitchingStats stats_from(const SwitchPartial& partial, std::size_t trials) {
   SwitchingStats stats;
   stats.trials = trials;
   stats.switched = partial.switched;
@@ -98,6 +81,74 @@ SwitchingStats llg_switching_stats(const dev::MtjDevice& device,
     stats.stddev_time = partial.times.stddev();
   }
   return stats;
+}
+
+}  // namespace
+
+SwitchingStats llg_switching_stats(const dev::MtjDevice& device,
+                                   SwitchDirection dir, double vp,
+                                   double hz_stray, std::size_t trials,
+                                   util::Rng& rng, double duration, double dt,
+                                   double temperature,
+                                   eng::MonteCarloRunner& runner) {
+  MRAM_EXPECTS(trials > 0, "need at least one trial");
+  const auto llg = llg_from_device(device, dir, vp, hz_stray, temperature);
+  const double delta =
+      device.delta(initial_state(dir), hz_stray, temperature);
+  const double mz0 = (initial_state(dir) == MtjState::kParallel) ? 1.0 : -1.0;
+
+  // Each trial integrates thousands of stochastic LLG steps -- the heaviest
+  // trial body in the repo. The batched path advances a whole lane-block
+  // per worker in lockstep; folding lane results in lane order keeps the
+  // accumulation order identical to the scalar reference, so the two paths
+  // are bit-identical for the same (seed, trials) at any thread count.
+  constexpr std::size_t kLanes = BatchMacrospinSim::kDefaultLanes;
+  const std::uint64_t seed = rng();
+  const auto partial = runner.run_batched<SwitchPartial>(
+      trials, seed, kLanes, [&] { return BatchMacrospinSim(llg); },
+      [&](BatchMacrospinSim& batch, util::Rng* rngs, std::size_t,
+          std::size_t lanes, SwitchPartial& acc) {
+        Vec3 m0[kLanes];
+        SwitchResult result[kLanes];
+        for (std::size_t l = 0; l < lanes; ++l) {
+          m0[l] = thermal_initial_tilt(rngs[l], delta, mz0);
+        }
+        batch.run_until_switch(lanes, m0, rngs, duration, dt, result);
+        for (std::size_t l = 0; l < lanes; ++l) {
+          if (result[l].switched) {
+            ++acc.switched;
+            acc.times.add(result[l].time);
+          }
+        }
+      });
+  return stats_from(partial, trials);
+}
+
+SwitchingStats llg_switching_stats_scalar(const dev::MtjDevice& device,
+                                          SwitchDirection dir, double vp,
+                                          double hz_stray, std::size_t trials,
+                                          util::Rng& rng, double duration,
+                                          double dt, double temperature,
+                                          eng::MonteCarloRunner& runner) {
+  MRAM_EXPECTS(trials > 0, "need at least one trial");
+  const auto llg = llg_from_device(device, dir, vp, hz_stray, temperature);
+  const MacrospinSim sim(llg);
+  const double delta =
+      device.delta(initial_state(dir), hz_stray, temperature);
+  const double mz0 = (initial_state(dir) == MtjState::kParallel) ? 1.0 : -1.0;
+
+  const std::uint64_t seed = rng();
+  const auto partial = runner.run<SwitchPartial>(
+      trials, seed,
+      [&](util::Rng& trial_rng, std::size_t, SwitchPartial& acc) {
+        const Vec3 m0 = thermal_initial_tilt(trial_rng, delta, mz0);
+        const auto result = sim.run_until_switch(m0, duration, dt, trial_rng);
+        if (result.switched) {
+          ++acc.switched;
+          acc.times.add(result.time);
+        }
+      });
+  return stats_from(partial, trials);
 }
 
 }  // namespace mram::dyn

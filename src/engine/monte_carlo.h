@@ -106,6 +106,64 @@ class MonteCarloRunner {
         });
   }
 
+  /// Batched variant of run(): each chunk is handed to `batch` in
+  /// lane-blocks of up to `lane_width` consecutive trials, so a SoA kernel
+  /// (e.g. dyn::BatchMacrospinSim) can advance the whole block in lockstep.
+  /// BatchFn: (Ctx&, util::Rng* rngs, std::size_t first_trial,
+  ///           std::size_t lanes, Partial&) -> void, where rngs[l] is the
+  /// stream of trial first_trial + l.
+  ///
+  /// Chunking and merge order are shared with run() -- they depend only on
+  /// (trials, chunk_size), never on lane_width or the thread count -- and
+  /// the per-trial streams are identical, so a batch functor that folds its
+  /// lanes into the accumulator in lane order reproduces run() bit for bit
+  /// at any lane_width (remainder blocks and lane_width=1 included).
+  template <class Partial, class MakeContext, class BatchFn>
+  Partial run_batched(std::size_t trials, std::uint64_t seed,
+                      std::size_t lane_width, MakeContext&& make_context,
+                      BatchFn&& batch) {
+    MRAM_EXPECTS(trials > 0, "need at least one trial");
+    MRAM_EXPECTS(lane_width > 0, "lane width must be positive");
+    const std::size_t chunk = effective_chunk(trials);
+    const std::size_t n_chunks = (trials + chunk - 1) / chunk;
+    std::vector<Partial> partials(n_chunks);
+    pool_.for_each(n_chunks, [&](std::size_t ci) {
+      auto context = make_context();
+      Partial acc;
+      const std::size_t lo = ci * chunk;
+      const std::size_t hi = std::min(lo + chunk, trials);
+      std::vector<util::Rng> rngs;
+      rngs.reserve(std::min(lane_width, hi - lo));
+      for (std::size_t base = lo; base < hi; base += lane_width) {
+        const std::size_t lanes = std::min(lane_width, hi - base);
+        rngs.clear();
+        for (std::size_t l = 0; l < lanes; ++l) {
+          rngs.push_back(util::Rng::stream(seed, base + l));
+        }
+        batch(context, rngs.data(), base, lanes, acc);
+      }
+      partials[ci] = std::move(acc);
+    });
+    Partial total;
+    for (auto& p : partials) total.merge(p);
+    return total;
+  }
+
+  /// Context-free convenience overload of run_batched().
+  /// BatchFn: (util::Rng* rngs, std::size_t first_trial, std::size_t lanes,
+  ///           Partial&) -> void.
+  template <class Partial, class BatchFn>
+  Partial run_batched(std::size_t trials, std::uint64_t seed,
+                      std::size_t lane_width, BatchFn&& batch) {
+    struct NoContext {};
+    return run_batched<Partial>(
+        trials, seed, lane_width, [] { return NoContext{}; },
+        [&batch](NoContext&, util::Rng* rngs, std::size_t first,
+                 std::size_t lanes, Partial& acc) {
+          batch(rngs, first, lanes, acc);
+        });
+  }
+
  private:
   static constexpr std::size_t kTargetChunks = 64;
 

@@ -82,18 +82,37 @@ int MramArray::read(std::size_t r, std::size_t c) const {
 }
 
 std::size_t MramArray::retention_hold(double duration, util::Rng& rng) {
+  return apply_retention_flips(retention_flip_probabilities(duration), rng);
+}
+
+std::vector<double> MramArray::retention_flip_probabilities(
+    double duration) const {
   MRAM_EXPECTS(duration >= 0.0, "duration must be non-negative");
-  // Evaluate all fields against the entry data, then apply flips.
-  std::vector<std::pair<std::size_t, std::size_t>> flips;
   const double scale =
       device_.params().thermal.stray_field_scale(config_.temperature);
+  std::vector<double> p_flip(grid_.rows() * grid_.cols());
   for (std::size_t r = 0; r < grid_.rows(); ++r) {
     for (std::size_t c = 0; c < grid_.cols(); ++c) {
       const auto state = dev::bit_to_state(grid_.at(r, c));
       const double hz_total = stray_field_at(r, c) * scale;
-      const double p = device_.flip_probability(state, hz_total, duration,
-                                                config_.temperature);
-      if (rng.bernoulli(p)) flips.emplace_back(r, c);
+      p_flip[r * grid_.cols() + c] = device_.flip_probability(
+          state, hz_total, duration, config_.temperature);
+    }
+  }
+  return p_flip;
+}
+
+std::size_t MramArray::apply_retention_flips(const std::vector<double>& p_flip,
+                                             util::Rng& rng) {
+  MRAM_EXPECTS(p_flip.size() == grid_.rows() * grid_.cols(),
+               "probability table must match the array");
+  // Draw against the entry data, then apply flips.
+  std::vector<std::pair<std::size_t, std::size_t>> flips;
+  for (std::size_t r = 0; r < grid_.rows(); ++r) {
+    for (std::size_t c = 0; c < grid_.cols(); ++c) {
+      if (rng.bernoulli(p_flip[r * grid_.cols() + c])) {
+        flips.emplace_back(r, c);
+      }
     }
   }
   for (const auto& [r, c] : flips) {

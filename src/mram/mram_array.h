@@ -76,6 +76,19 @@ class MramArray {
   /// entry (flips within one hold are rare enough to ignore their coupling).
   std::size_t retention_hold(double duration, util::Rng& rng);
 
+  /// Per-cell Neel--Brown flip probabilities (row-major) for a hold of
+  /// `duration` seconds against the *current* data. The retention ensemble
+  /// hoists this exp-heavy evaluation out of its trial loop: every trial of
+  /// the same pattern shares one table.
+  std::vector<double> retention_flip_probabilities(double duration) const;
+
+  /// Applies one thermal hold drawn against a precomputed probability table
+  /// (as returned by retention_flip_probabilities for the current data).
+  /// Consumes exactly one bernoulli draw per cell in row-major order --
+  /// stream-identical to retention_hold. Returns the number of flips.
+  std::size_t apply_retention_flips(const std::vector<double>& p_flip,
+                                    util::Rng& rng);
+
   /// Thermal stability factor of cell (r, c) in its current state.
   double cell_delta(std::size_t r, std::size_t c) const;
 

@@ -97,16 +97,48 @@ RetentionEnsembleResult measure_retention_faults(
                                          config.array.cols, rng);
   const std::uint64_t seed = rng();
 
-  const auto partial = runner.run<Partial>(
-      config.trials, seed, [&] { return MramArray(prototype); },
-      [&](MramArray& array, util::Rng& trial_rng, std::size_t, Partial& acc) {
-        array.load(pattern);
-        const std::size_t flips =
-            array.retention_hold(config.hold, trial_rng);
-        acc.faulty += (flips > 0);
-        acc.flips += flips;
-        acc.per_hold.add(static_cast<double>(flips));
-      });
+  const auto record = [](std::size_t flips, Partial& acc) {
+    acc.faulty += (flips > 0);
+    acc.flips += flips;
+    acc.per_hold.add(static_cast<double>(flips));
+  };
+
+  // Every trial holds the same pattern, so the per-cell flip probabilities
+  // are trial-invariant: the batched path evaluates the exp-heavy table
+  // once per chunk and each lane only pays the bernoulli draws (the same
+  // draws in the same order as retention_hold -- results are bit-identical
+  // to the scalar reference, batch_lanes == 0).
+  struct Ctx {
+    MramArray array;
+    std::vector<double> p_flip;
+  };
+  const auto partial =
+      (config.batch_lanes > 0)
+          ? runner.run_batched<Partial>(
+                config.trials, seed, config.batch_lanes,
+                [&] {
+                  Ctx ctx{MramArray(prototype), {}};
+                  ctx.array.load(pattern);
+                  ctx.p_flip =
+                      ctx.array.retention_flip_probabilities(config.hold);
+                  return ctx;
+                },
+                [&](Ctx& ctx, util::Rng* rngs, std::size_t,
+                    std::size_t lanes, Partial& acc) {
+                  for (std::size_t l = 0; l < lanes; ++l) {
+                    ctx.array.load(pattern);
+                    record(ctx.array.apply_retention_flips(ctx.p_flip,
+                                                           rngs[l]),
+                           acc);
+                  }
+                })
+          : runner.run<Partial>(
+                config.trials, seed, [&] { return MramArray(prototype); },
+                [&](MramArray& array, util::Rng& trial_rng, std::size_t,
+                    Partial& acc) {
+                  array.load(pattern);
+                  record(array.retention_hold(config.hold, trial_rng), acc);
+                });
 
   RetentionEnsembleResult result;
   result.trials = config.trials;

@@ -47,17 +47,55 @@ WerResult measure_wer(const WerConfig& config, util::Rng& rng,
   background.set(vr, vc, initial_bit);
   const std::uint64_t seed = rng();
 
-  const auto partial = runner.run<WerPartial>(
-      config.trials, seed, [&] { return MramArray(prototype); },
-      [&](MramArray& array, util::Rng& trial_rng, std::size_t,
-          WerPartial& acc) {
-        array.load(background);
-        const auto wr =
-            array.write(vr, vc, target_bit, config.pulse, trial_rng);
-        MRAM_ENSURES(wr.attempted, "victim must start in the initial state");
-        acc.psucc.add(wr.success_probability);
-        if (!wr.success) ++acc.errors;
-      });
+  // The batched path hoists the trial-invariant physics: every trial
+  // reloads the same background and fires the same pulse at the same
+  // victim, so the stray field and the analytic success probability are
+  // one evaluation per call, not one per trial. Each lane then pays
+  // exactly one bernoulli draw -- the same single uniform the scalar
+  // reference consumes per trial -- and folding lanes in order keeps the
+  // accumulation order, so every statistic is bit-identical to the scalar
+  // reference path (batch_lanes == 0, which still exercises the full
+  // load/write pipeline per trial).
+  const auto partial =
+      (config.batch_lanes > 0)
+          ? [&] {
+              // The same expressions MramArray::write evaluates per trial,
+              // once: stray field of the loaded background at the victim,
+              // then the analytic success probability. No rng draw here,
+              // so the caller's stream stays in lockstep with the scalar
+              // reference path.
+              MramArray probe(prototype);
+              probe.load(background);
+              MRAM_ENSURES(probe.read(vr, vc) != target_bit,
+                           "victim must start in the initial state");
+              const dev::SwitchDirection dir = (target_bit == 0)
+                                                   ? SwitchDirection::kApToP
+                                                   : SwitchDirection::kPToAp;
+              const double p = probe.device().write_success_probability(
+                  dir, config.pulse.voltage, config.pulse.width,
+                  probe.stray_field_at(vr, vc), config.array.temperature);
+              return runner.run_batched<WerPartial>(
+                  config.trials, seed, config.batch_lanes,
+                  [&](util::Rng* rngs, std::size_t, std::size_t lanes,
+                      WerPartial& acc) {
+                    for (std::size_t l = 0; l < lanes; ++l) {
+                      acc.psucc.add(p);
+                      if (!rngs[l].bernoulli(p)) ++acc.errors;
+                    }
+                  });
+            }()
+          : runner.run<WerPartial>(
+                config.trials, seed, [&] { return MramArray(prototype); },
+                [&](MramArray& array, util::Rng& trial_rng, std::size_t,
+                    WerPartial& acc) {
+                  array.load(background);
+                  const auto wr = array.write(vr, vc, target_bit,
+                                              config.pulse, trial_rng);
+                  MRAM_ENSURES(wr.attempted,
+                               "victim must start in the initial state");
+                  acc.psucc.add(wr.success_probability);
+                  if (!wr.success) ++acc.errors;
+                });
 
   WerResult result;
   result.trials = config.trials;

@@ -23,6 +23,9 @@ struct WerConfig {
   dev::SwitchDirection direction = dev::SwitchDirection::kApToP;
   std::size_t trials = 1000;
   eng::RunnerConfig runner;  ///< thread pool + chunking for the trial loop
+  std::size_t batch_lanes = 8;  ///< trials per lane-block on the batched
+                                ///< runner path; 0 selects the scalar
+                                ///< reference path (bit-identical results)
 };
 
 struct WerResult {

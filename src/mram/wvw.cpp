@@ -47,49 +47,84 @@ WvwResult write_verify_write(MramArray& array, std::size_t r, std::size_t c,
   return result;
 }
 
-SchemeComparison compare_write_schemes(const ArrayConfig& array_config,
-                                       const WvwConfig& config,
-                                       std::size_t trials, util::Rng& rng) {
-  MRAM_EXPECTS(trials > 0, "need at least one trial");
-  config.validate();
+namespace {
 
-  MramArray array(array_config);
-  const std::size_t vr = array.rows() / 2;
-  const std::size_t vc = array.cols() / 2;
-
-  // Worst case background: all P, victim AP, target P (AP->P with NP8 = 0).
-  arr::DataGrid background(array.rows(), array.cols(), 0);
-  background.set(vr, vc, 1);
-
-  SchemeComparison cmp;
+struct WvwPartial {
   std::size_t single_errors = 0;
   std::size_t wvw_errors = 0;
   util::RunningStats attempts, latency, energy;
 
-  const double single_resistance = array.device().electrical().resistance(
-      dev::MtjState::kAntiParallel, config.pulse.voltage);
-  cmp.single_energy = config.pulse.voltage * config.pulse.voltage /
-                      single_resistance * config.pulse.width;
-
-  for (std::size_t k = 0; k < trials; ++k) {
-    array.load(background);
-    if (!array.write(vr, vc, 0, config.pulse, rng).success) ++single_errors;
-
-    array.load(background);
-    const auto wvw = write_verify_write(array, vr, vc, 0, config, rng);
-    if (!wvw.success) ++wvw_errors;
-    attempts.add(static_cast<double>(wvw.attempts));
-    latency.add(wvw.latency);
-    energy.add(wvw.energy);
+  void merge(const WvwPartial& o) {
+    single_errors += o.single_errors;
+    wvw_errors += o.wvw_errors;
+    attempts.merge(o.attempts);
+    latency.merge(o.latency);
+    energy.merge(o.energy);
   }
+};
 
-  const double n = static_cast<double>(trials);
-  cmp.single_pulse_wer = static_cast<double>(single_errors) / n;
-  cmp.wvw_wer = static_cast<double>(wvw_errors) / n;
-  cmp.wvw_mean_attempts = attempts.mean();
-  cmp.wvw_mean_latency = latency.mean();
-  cmp.wvw_mean_energy = energy.mean();
+}  // namespace
+
+SchemeComparison measure_wvw(const WvwEnsembleConfig& config,
+                             util::Rng& rng) {
+  eng::MonteCarloRunner runner(config.runner);
+  return measure_wvw(config, rng, runner);
+}
+
+SchemeComparison measure_wvw(const WvwEnsembleConfig& config, util::Rng& rng,
+                             eng::MonteCarloRunner& runner) {
+  MRAM_EXPECTS(config.trials > 0, "need at least one trial");
+  config.wvw.validate();
+  config.array.validate();
+
+  const MramArray prototype(config.array);
+  const std::size_t vr = prototype.rows() / 2;
+  const std::size_t vc = prototype.cols() / 2;
+
+  // Worst case background: all P, victim AP, target P (AP->P with NP8 = 0).
+  arr::DataGrid background(prototype.rows(), prototype.cols(), 0);
+  background.set(vr, vc, 1);
+
+  const std::uint64_t seed = rng();
+  const auto partial = runner.run<WvwPartial>(
+      config.trials, seed, [&] { return MramArray(prototype); },
+      [&](MramArray& array, util::Rng& trial_rng, std::size_t,
+          WvwPartial& acc) {
+        array.load(background);
+        if (!array.write(vr, vc, 0, config.wvw.pulse, trial_rng).success) {
+          ++acc.single_errors;
+        }
+        array.load(background);
+        const auto wvw =
+            write_verify_write(array, vr, vc, 0, config.wvw, trial_rng);
+        if (!wvw.success) ++acc.wvw_errors;
+        acc.attempts.add(static_cast<double>(wvw.attempts));
+        acc.latency.add(wvw.latency);
+        acc.energy.add(wvw.energy);
+      });
+
+  SchemeComparison cmp;
+  const double single_resistance = prototype.device().electrical().resistance(
+      dev::MtjState::kAntiParallel, config.wvw.pulse.voltage);
+  cmp.single_energy = config.wvw.pulse.voltage * config.wvw.pulse.voltage /
+                      single_resistance * config.wvw.pulse.width;
+  const double n = static_cast<double>(config.trials);
+  cmp.single_pulse_wer = static_cast<double>(partial.single_errors) / n;
+  cmp.wvw_wer = static_cast<double>(partial.wvw_errors) / n;
+  cmp.wvw_mean_attempts = partial.attempts.mean();
+  cmp.wvw_mean_latency = partial.latency.mean();
+  cmp.wvw_mean_energy = partial.energy.mean();
   return cmp;
+}
+
+SchemeComparison compare_write_schemes(const ArrayConfig& array_config,
+                                       const WvwConfig& config,
+                                       std::size_t trials, util::Rng& rng) {
+  WvwEnsembleConfig cfg;
+  cfg.array = array_config;
+  cfg.wvw = config;
+  cfg.trials = trials;
+  return measure_wvw(cfg, rng);
 }
 
 }  // namespace mram::mem

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "engine/monte_carlo.h"
 #include "mram/mram_array.h"
 
 // Write-verify-write (WVW) controller, the scheme of the Intel 22FFL
@@ -45,8 +46,26 @@ struct SchemeComparison {
   double single_energy = 0.0;     ///< [J] (one pulse, always)
 };
 
-/// Monte Carlo comparison on the worst-case victim (center cell, AP->P,
-/// all-P background), `trials` per scheme.
+/// Monte Carlo single-pulse vs WVW ensemble on the engine runner: each trial
+/// fires one single pulse and one full WVW sequence at the worst-case victim
+/// (center cell, AP->P, all-P background) from its own counter-based stream,
+/// so results are bit-identical at any thread count for a fixed seed.
+/// Runs on the runner's standard (unbatched) path: a WVW trial's retry loop
+/// is control-flow divergent and stateful, so there is nothing for a
+/// lane-lockstep kernel to vectorize.
+struct WvwEnsembleConfig {
+  ArrayConfig array;
+  WvwConfig wvw;
+  std::size_t trials = 1000;
+  eng::RunnerConfig runner;
+};
+
+SchemeComparison measure_wvw(const WvwEnsembleConfig& config, util::Rng& rng);
+SchemeComparison measure_wvw(const WvwEnsembleConfig& config, util::Rng& rng,
+                             eng::MonteCarloRunner& runner);
+
+/// Convenience wrapper over measure_wvw with a default runner, `trials` per
+/// scheme. (Historical serial entry point; now runner-parallel.)
 SchemeComparison compare_write_schemes(const ArrayConfig& array_config,
                                        const WvwConfig& config,
                                        std::size_t trials, util::Rng& rng);

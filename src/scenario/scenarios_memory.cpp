@@ -102,13 +102,15 @@ ResultSet run_wvw(ScenarioContext& ctx) {
       {"pulse (ns)", "single WER", "WVW WER (<=4 tries)", "mean tries",
        "mean latency (ns)", "energy vs single"},
       grid, [&](const SweepPoint& pt) -> std::vector<Cell> {
-        mem::WvwConfig cfg;
-        cfg.pulse.voltage = 0.9;
-        cfg.pulse.width = pt.at.x * tw;
-        cfg.max_attempts = 4;
+        mem::WvwEnsembleConfig cfg;
+        cfg.array = array;
+        cfg.wvw.pulse.voltage = 0.9;
+        cfg.wvw.pulse.width = pt.at.x * tw;
+        cfg.wvw.max_attempts = 4;
+        cfg.trials = trials;
         util::Rng rng = pt.rng();
-        const auto cmp = mem::compare_write_schemes(array, cfg, trials, rng);
-        return {Cell(s_to_ns(cfg.pulse.width), 2),
+        const auto cmp = mem::measure_wvw(cfg, rng, pt.runner);
+        return {Cell(s_to_ns(cfg.wvw.pulse.width), 2),
                 Cell(cmp.single_pulse_wer, 4), Cell(cmp.wvw_wer, 4),
                 Cell(cmp.wvw_mean_attempts, 2),
                 Cell(s_to_ns(cmp.wvw_mean_latency), 2),

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 
@@ -39,11 +40,32 @@ class Rng {
   /// Uniform double in [lo, hi).
   double uniform(double lo, double hi);
 
-  /// Standard normal deviate (Marsaglia polar method, cached spare).
+  /// Standard normal deviate -- the *legacy* sampler (Marsaglia polar
+  /// method, cached spare), kept bit-for-bit stable: the committed golden
+  /// CSVs and every seeded variation/characterization ensemble depend on
+  /// its exact draw sequence. Prefer normal_fill for new bulk consumers.
   double normal();
 
   /// Normal deviate with the given mean and standard deviation.
   double normal(double mean, double sigma);
+
+  /// Fills out[0..n) with standard normal deviates from the 128-strip
+  /// ziggurat (tables committed as exact hex literals) -- ~2.5x cheaper per
+  /// value than normal() and the sampler behind the stochastic-LLG thermal
+  /// fields, scalar and batched alike. Deterministic for a given engine
+  /// state and self-consistent: one fill of n equals any split into smaller
+  /// fills, with no hidden state between calls. NOT the same value stream
+  /// as the legacy normal() (see there for why that one cannot change).
+  void normal_fill(double* out, std::size_t n);
+
+  /// Fills two engines' outputs in lockstep: out_a gets exactly
+  /// a.normal_fill(out_a, n) and out_b exactly b.normal_fill(out_b, n),
+  /// value for value. A single engine's fill rate is bounded by its serial
+  /// xoshiro state chain; interleaving two independent chains nearly
+  /// doubles the throughput, which is why the batched LLG kernel refills
+  /// its thermal-noise lanes in pairs.
+  static void normal_fill_pair(Rng& a, Rng& b, double* out_a, double* out_b,
+                               std::size_t n);
 
   /// Uniform integer in [0, n). Precondition: n > 0.
   std::uint64_t below(std::uint64_t n);
@@ -64,6 +86,13 @@ class Rng {
 
  private:
   std::uint64_t next();
+
+  /// One ziggurat draw (the normal_fill stream).
+  double zig_draw();
+
+  /// Completes one ziggurat draw whose first strip test rejected (wedge,
+  /// tail and retry paths; out of line, ~2.5% of draws).
+  double zig_fallback(std::uint64_t b);
 
   std::uint64_t state_[4];
   bool has_spare_ = false;

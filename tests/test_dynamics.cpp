@@ -8,7 +8,9 @@
 
 #include "device/mtj_device.h"
 #include "dynamics/llg.h"
+#include "dynamics/llg_batch.h"
 #include "dynamics/switching_sim.h"
+#include "engine/monte_carlo.h"
 #include "util/constants.h"
 #include "util/error.h"
 #include "util/units.h"
@@ -171,6 +173,122 @@ TEST(Llg, RunUntilSwitchDetectsCrossing) {
   EXPECT_TRUE(result.switched);
   EXPECT_GT(result.time, 0.0);
   EXPECT_LT(result.time, 100e-9);
+}
+
+// --- batched SoA kernel vs scalar reference ---------------------------------
+
+LlgParams thermal_driven_params() {
+  auto p = base_params();
+  p.temperature = 300.0;
+  const double aj_crit = p.alpha * p.hk;
+  p.current = 1.5 * aj_crit /
+              LlgParams{.ms = p.ms, .volume = p.volume,
+                        .stt_efficiency = p.stt_efficiency, .current = 1.0}
+                  .spin_torque_field();
+  return p;
+}
+
+/// Runs `lanes` trials through both kernels on identical per-lane streams
+/// and requires bit-identical SwitchResults.
+void expect_batch_matches_scalar(const LlgParams& p, std::size_t lanes,
+                                 double duration, double dt,
+                                 std::uint64_t seed) {
+  const MacrospinSim scalar(p);
+  BatchMacrospinSim batch(p);
+
+  std::vector<Vec3> m0(lanes);
+  util::Rng tilt(seed);
+  for (auto& m : m0) {
+    m = num::normalized({0.08 * tilt.uniform(-1.0, 1.0),
+                         0.08 * tilt.uniform(-1.0, 1.0), -1.0});
+  }
+
+  std::vector<SwitchResult> expected(lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    util::Rng rng = util::Rng::stream(seed, l);
+    expected[l] = scalar.run_until_switch(m0[l], duration, dt, rng);
+  }
+
+  std::vector<util::Rng> rngs;
+  for (std::size_t l = 0; l < lanes; ++l) {
+    rngs.push_back(util::Rng::stream(seed, l));
+  }
+  std::vector<SwitchResult> got(lanes);
+  batch.run_until_switch(lanes, m0.data(), rngs.data(), duration, dt,
+                         got.data());
+
+  for (std::size_t l = 0; l < lanes; ++l) {
+    EXPECT_EQ(got[l].switched, expected[l].switched) << "lane " << l;
+    EXPECT_EQ(got[l].time, expected[l].time) << "lane " << l;  // bitwise
+  }
+}
+
+TEST(BatchLlg, BitIdenticalToScalarThermalDriven) {
+  // Thermal field + overcritical STT: a window long enough that most lanes
+  // switch (exercising compaction) but short enough that some do not.
+  expect_batch_matches_scalar(thermal_driven_params(), 8, 8e-9, 2e-13, 42);
+}
+
+TEST(BatchLlg, BitIdenticalAtOddLaneCountsAndB1) {
+  const auto p = thermal_driven_params();
+  for (std::size_t lanes : {std::size_t{1}, std::size_t{3}, std::size_t{5}}) {
+    expect_batch_matches_scalar(p, lanes, 3e-9, 2e-13, 1000 + lanes);
+  }
+}
+
+TEST(BatchLlg, BitIdenticalDeterministicNoThermalField) {
+  // temperature = 0: no rng draws at all; the pure SoA arithmetic must
+  // still replay the scalar path exactly.
+  auto p = thermal_driven_params();
+  p.temperature = 0.0;
+  expect_batch_matches_scalar(p, 4, 6e-9, 2e-13, 7);
+}
+
+TEST(BatchLlg, NoSwitchLanesReportFullDuration) {
+  auto p = base_params();
+  p.temperature = 0.0;  // no drive, no noise: nothing may switch
+  const Vec3 m0[2] = {num::normalized({0.05, 0.0, 1.0}),
+                      num::normalized({0.0, 0.05, 1.0})};
+  util::Rng rngs[2] = {util::Rng(1), util::Rng(2)};
+  SwitchResult out[2];
+  BatchMacrospinSim batch(p);
+  batch.run_until_switch(2, m0, rngs, 1e-9, 1e-12, out);
+  for (const auto& r : out) {
+    EXPECT_FALSE(r.switched);
+    EXPECT_DOUBLE_EQ(r.time, 1e-9);
+  }
+}
+
+TEST(BatchLlg, SwitchingStatsBatchedMatchesScalarAcrossThreads) {
+  // The full ensemble: batched llg_switching_stats must reproduce the
+  // scalar reference bit for bit -- same error counts and identical
+  // RunningStats moments -- at 1 and 4 threads.
+  const dev::MtjDevice device(MtjParams::reference_device(35e-9));
+  const double vp = 1.1;
+  SwitchingStats ref;
+  {
+    eng::RunnerConfig cfg;
+    cfg.threads = 1;
+    eng::MonteCarloRunner runner(cfg);
+    util::Rng rng(404);
+    ref = llg_switching_stats_scalar(device, SwitchDirection::kApToP, vp,
+                                     0.0, 21, rng, 30e-9, 1e-12, 300.0,
+                                     runner);
+  }
+  EXPECT_GT(ref.switched, 0u);
+  for (unsigned threads : {1u, 4u}) {
+    eng::RunnerConfig cfg;
+    cfg.threads = threads;
+    eng::MonteCarloRunner runner(cfg);
+    util::Rng rng(404);
+    const auto batched =
+        llg_switching_stats(device, SwitchDirection::kApToP, vp, 0.0, 21,
+                            rng, 30e-9, 1e-12, 300.0, runner);
+    EXPECT_EQ(batched.switched, ref.switched) << threads << " threads";
+    EXPECT_EQ(batched.trials, ref.trials);
+    EXPECT_EQ(batched.mean_time, ref.mean_time) << threads << " threads";
+    EXPECT_EQ(batched.stddev_time, ref.stddev_time) << threads << " threads";
+  }
 }
 
 // --- device bridge ----------------------------------------------------------

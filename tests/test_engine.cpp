@@ -429,6 +429,57 @@ TEST(MonteCarloRunner, RejectsInvalidConfig) {
   EXPECT_THROW(eng::MonteCarloRunner{cfg}, util::ConfigError);
 }
 
+// --- batched runner path ----------------------------------------------------
+
+CountPartial run_counting_batched(unsigned threads, std::size_t chunk,
+                                  std::size_t lane_width) {
+  eng::RunnerConfig cfg;
+  cfg.threads = threads;
+  cfg.chunk_size = chunk;
+  eng::MonteCarloRunner runner(cfg);
+  return runner.run_batched<CountPartial>(
+      999, 1234, lane_width,
+      [](util::Rng* rngs, std::size_t, std::size_t lanes,
+         CountPartial& acc) {
+        for (std::size_t l = 0; l < lanes; ++l) {
+          const double u = rngs[l].uniform();
+          acc.hits += (u < 0.25);
+          acc.values.add(u);
+        }
+      });
+}
+
+TEST(MonteCarloRunner, BatchedBitIdenticalToUnbatched) {
+  // Same chunking, same per-trial streams, lane-ordered folding: any lane
+  // width must reproduce run() bit for bit -- remainder blocks (999 % 8 and
+  // 999 % 7 != 0) and lane_width = 1 included.
+  const auto reference = run_counting(1, 64);
+  for (std::size_t lane_width : {std::size_t{1}, std::size_t{7},
+                                 std::size_t{8}, std::size_t{64}}) {
+    for (unsigned threads : {1u, 4u}) {
+      const auto batched = run_counting_batched(threads, 64, lane_width);
+      EXPECT_EQ(batched.hits, reference.hits)
+          << "lanes=" << lane_width << " threads=" << threads;
+      EXPECT_EQ(batched.values.count(), reference.values.count());
+      EXPECT_EQ(batched.values.mean(), reference.values.mean());
+      EXPECT_EQ(batched.values.variance(), reference.values.variance());
+    }
+  }
+}
+
+TEST(MonteCarloRunner, BatchedRejectsZeroLaneWidth) {
+  eng::MonteCarloRunner runner;
+  struct Sum {
+    std::size_t n = 0;
+    void merge(const Sum& o) { n += o.n; }
+  };
+  EXPECT_THROW(
+      runner.run_batched<Sum>(
+          10, 1, 0,
+          [](util::Rng*, std::size_t, std::size_t, Sum&) {}),
+      util::ContractViolation);
+}
+
 // --- seeded WER: serial vs. 4 threads bit-identity --------------------------
 
 mem::WerConfig engine_wer_config() {
@@ -459,6 +510,62 @@ TEST(MonteCarloRunner, SeededWerBitIdenticalSerialVsFourThreads) {
             serial.mean_success_probability);
   EXPECT_EQ(parallel.confidence.lo, serial.confidence.lo);
   EXPECT_EQ(parallel.confidence.hi, serial.confidence.hi);
+}
+
+TEST(MonteCarloRunner, BatchedWerBitIdenticalToScalarPath) {
+  // Acceptance check of the batched migration: the batched WER path (the
+  // default, batch_lanes = 8) must produce bit-identical error counts and
+  // statistics to the scalar reference (batch_lanes = 0), at 1 and 4
+  // threads, including the 700 % 8 != 0 remainder block.
+  auto scalar_cfg = engine_wer_config();
+  scalar_cfg.batch_lanes = 0;
+  scalar_cfg.runner.threads = 1;
+  util::Rng rng_scalar(2024);
+  const auto scalar = mem::measure_wer(scalar_cfg, rng_scalar);
+
+  for (unsigned threads : {1u, 4u}) {
+    auto cfg = engine_wer_config();
+    cfg.batch_lanes = 8;
+    cfg.runner.threads = threads;
+    util::Rng rng(2024);
+    const auto batched = mem::measure_wer(cfg, rng);
+    EXPECT_EQ(batched.errors, scalar.errors) << threads << " threads";
+    EXPECT_EQ(batched.wer, scalar.wer);
+    EXPECT_EQ(batched.mean_success_probability,
+              scalar.mean_success_probability);
+    EXPECT_EQ(batched.confidence.lo, scalar.confidence.lo);
+    EXPECT_EQ(batched.confidence.hi, scalar.confidence.hi);
+  }
+}
+
+TEST(RetentionEnsemble, BatchedBitIdenticalToScalarPath) {
+  // The batched retention path hoists the flip-probability table per chunk;
+  // draws and counts must still match the scalar reference exactly.
+  mem::RetentionEnsembleConfig cfg;
+  cfg.array.device = dev::MtjParams::reference_device(35e-9);
+  cfg.array.device.delta0 = 8.0;
+  cfg.array.pitch = 70e-9;
+  cfg.array.rows = cfg.array.cols = 4;
+  cfg.array.temperature = 400.0;
+  cfg.hold = 1.0;
+  cfg.trials = 150;
+
+  cfg.batch_lanes = 0;
+  cfg.runner.threads = 1;
+  util::Rng rng_scalar(5);
+  const auto scalar = mem::measure_retention_faults(cfg, rng_scalar);
+  EXPECT_GT(scalar.faulty_trials, 0u);
+
+  for (unsigned threads : {1u, 4u}) {
+    cfg.batch_lanes = 8;
+    cfg.runner.threads = threads;
+    util::Rng rng(5);
+    const auto batched = mem::measure_retention_faults(cfg, rng);
+    EXPECT_EQ(batched.faulty_trials, scalar.faulty_trials)
+        << threads << " threads";
+    EXPECT_EQ(batched.total_flips, scalar.total_flips);
+    EXPECT_EQ(batched.mean_flips, scalar.mean_flips);
+  }
 }
 
 TEST(RetentionEnsemble, HotArrayFaultsAndIsThreadCountInvariant) {

@@ -309,6 +309,39 @@ TEST(March, OpNames) {
 }
 
 
+// --- retention probability table -------------------------------------------
+
+TEST(MramArray, RetentionHoldMatchesPrecomputedProbabilityTable) {
+  // retention_hold and the hoisted table + apply_retention_flips path must
+  // consume the same draws and produce the same flips for the same stream.
+  auto cfg = small_config(1.5);
+  cfg.device.delta0 = 10.0;  // weak barrier so flips actually happen
+  cfg.temperature = 400.0;
+  MramArray direct(cfg);
+  MramArray staged(cfg);
+  util::Rng rng_pattern(31);
+  const auto pattern =
+      arr::make_pattern(PatternKind::kCheckerboard, 5, 5, rng_pattern);
+  direct.load(pattern);
+  staged.load(pattern);
+
+  const auto table = staged.retention_flip_probabilities(1.0);
+  ASSERT_EQ(table.size(), 25u);
+  util::Rng rng_a(77);
+  util::Rng rng_b(77);
+  const std::size_t flips_direct = direct.retention_hold(1.0, rng_a);
+  const std::size_t flips_staged = staged.apply_retention_flips(table, rng_b);
+  EXPECT_EQ(flips_direct, flips_staged);
+  EXPECT_GT(flips_direct, 0u);
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t c = 0; c < 5; ++c) {
+      EXPECT_EQ(direct.read(r, c), staged.read(r, c));
+    }
+  }
+  EXPECT_THROW(staged.apply_retention_flips(std::vector<double>(3), rng_b),
+               util::ContractViolation);
+}
+
 // --- write-verify-write --------------------------------------------------------
 
 TEST(Wvw, SkipsPulseWhenDataMatches) {

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <vector>
 
 #include "util/constants.h"
 #include "util/csv.h"
@@ -158,6 +159,97 @@ TEST(Rng, BernoulliEdgeCasesAndRate) {
   const int n = 100000;
   for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
   EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Rng, NormalFillStreamConsistentAcrossFillSizes) {
+  // The fill keeps no hidden state between calls: one bulk fill of n values
+  // is the identical stream to any split into smaller fills on an engine
+  // with the same state -- the property that lets the batched LLG kernel
+  // prefetch a lane's thermal history in blocks while the scalar path
+  // draws three values per step, and still match it bit for bit.
+  constexpr std::size_t kN = 24;
+  Rng bulk_rng(101);
+  std::vector<double> bulk(kN);
+  bulk_rng.normal_fill(bulk.data(), kN);
+  for (std::size_t piece : {1u, 2u, 3u, 5u, 8u}) {
+    Rng split_rng(101);
+    std::vector<double> split(kN);
+    for (std::size_t at = 0; at < kN; at += piece) {
+      split_rng.normal_fill(split.data() + at, std::min(piece, kN - at));
+    }
+    EXPECT_EQ(bulk, split) << "piece=" << piece;
+    // Engines end in the same state: the next raw draw agrees too.
+    EXPECT_EQ(split_rng(), Rng(bulk_rng)());
+  }
+}
+
+TEST(Rng, NormalFillInterleavesWithNormal) {
+  // Mixed usage: fills interleaved with legacy normal() calls leave both
+  // samplers deterministic -- each mixed engine stays in lockstep with a
+  // twin replaying the same call pattern.
+  Rng a(77);
+  Rng b(77);
+  double buf_a[3], buf_b[3];
+  EXPECT_EQ(a.normal(), b.normal());  // leaves a cached spare in both
+  a.normal_fill(buf_a, 3);
+  b.normal_fill(buf_b, 3);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(buf_a[i], buf_b[i]);
+  EXPECT_EQ(a.normal(), b.normal());
+}
+
+TEST(Rng, NormalFillIsNotTheLegacyNormalStream) {
+  // Documented split: normal() must stay the bit-stable legacy polar
+  // sampler (committed goldens depend on its exact draws), while
+  // normal_fill is the fast ziggurat. The two value streams differ.
+  Rng a(101);
+  Rng b(101);
+  double filled[8];
+  a.normal_fill(filled, 8);
+  int same = 0;
+  for (double v : filled) same += (v == b.normal());
+  EXPECT_LT(same, 8);
+}
+
+TEST(Rng, NormalFillPairMatchesTwoSoloFills) {
+  // The lockstep pair fill must reproduce each engine's solo normal_fill
+  // stream bit for bit, including engines whose draws hit the fallback
+  // paths at different times, and leave both engines in the solo state.
+  Rng a(11), b(22), a_ref(11), b_ref(22);
+  std::vector<double> pa(777), pb(777), ra(777), rb(777);
+  Rng::normal_fill_pair(a, b, pa.data(), pb.data(), 777);
+  a_ref.normal_fill(ra.data(), 777);
+  b_ref.normal_fill(rb.data(), 777);
+  EXPECT_EQ(pa, ra);
+  EXPECT_EQ(pb, rb);
+  EXPECT_EQ(a(), a_ref());
+  EXPECT_EQ(b(), b_ref());
+}
+
+TEST(Rng, NormalFillZeroCountIsANoOp) {
+  Rng a(5);
+  Rng b(5);
+  a.normal_fill(nullptr, 0);
+  EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, NormalFillMomentsAndTails) {
+  Rng rng(19);
+  RunningStats s;
+  std::size_t beyond_3sigma = 0;
+  std::vector<double> buf(1000);
+  for (int block = 0; block < 200; ++block) {
+    rng.normal_fill(buf.data(), buf.size());
+    for (double v : buf) {
+      s.add(v);
+      beyond_3sigma += (std::abs(v) > 3.0);
+    }
+  }
+  EXPECT_NEAR(s.mean(), 0.0, 0.01);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.01);
+  // Tail mass: P(|X| > 3) = 2.7e-3, so ~540 of 200k. A ziggurat bug that
+  // clips the tail (or doubles it) fails this comfortably.
+  EXPECT_GT(beyond_3sigma, 400u);
+  EXPECT_LT(beyond_3sigma, 700u);
 }
 
 TEST(Rng, SplitProducesDecorrelatedStream) {

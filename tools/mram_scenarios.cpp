@@ -122,9 +122,16 @@ int cmd_run(const RunOptions& opt) {
   eng::MonteCarloRunner runner(runner_cfg);  // one pool for the whole run
 
   int failures = 0;
+  double total_secs = 0.0;
+  util::Table summary({"scenario", "status", "tables", "wall (s)"});
   for (const auto& name : names) {
     const auto& scenario = registry.at(name);
     const auto start = std::chrono::steady_clock::now();
+    auto elapsed = [&] {
+      return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           start)
+          .count();
+    };
     try {
       scn::ScenarioContext ctx{runner};
       ctx.seed = opt.seed;
@@ -133,18 +140,30 @@ int cmd_run(const RunOptions& opt) {
       const scn::ResultSet results = scenario.run(ctx);
       const scn::RunMeta meta{opt.seed, runner.threads(), opt.trial_scale};
       sink->write(scenario.info, meta, results);
+      const double secs = elapsed();
+      total_secs += secs;
+      summary.add_row({name, "ok", std::to_string(results.tables.size()),
+                       util::format_double(secs, 2)});
       if (!opt.out_dir.empty()) {
-        const double secs =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                          start)
-                .count();
         std::cout << "ok   " << name << " (" << results.tables.size()
                   << " tables, " << util::format_double(secs, 2) << " s)\n";
       }
     } catch (const std::exception& e) {
       ++failures;
+      const double secs = elapsed();
+      total_secs += secs;
+      summary.add_row({name, "FAIL", "-", util::format_double(secs, 2)});
       std::cerr << "FAIL " << name << ": " << e.what() << "\n";
     }
+  }
+  // Per-scenario wall-clock summary, always on stderr so it never corrupts
+  // piped csv/json output: scenario-level perf regressions show up here
+  // without rerunning the microbenches.
+  if (names.size() > 1) {
+    summary.print(std::cerr,
+                  "run summary (" + util::format_double(total_secs, 2) +
+                      " s total, " + std::to_string(runner.threads()) +
+                      " threads)");
   }
   if (failures > 0) {
     std::cerr << failures << " of " << names.size()
