@@ -216,19 +216,35 @@ double MtjDevice::read_disturb_probability(MtjState state, double v_read,
                                            double duration, double hz_stray,
                                            double t) const {
   MRAM_EXPECTS(v_read > 0.0, "read voltage must be positive");
+  return read_disturb_probability_at_current(
+      state, electrical_.current(state, v_read), duration, hz_stray, t);
+}
+
+double MtjDevice::read_disturb_probability_at_current(MtjState state,
+                                                      double i_read,
+                                                      double duration,
+                                                      double hz_stray,
+                                                      double t) const {
+  MRAM_EXPECTS(i_read >= 0.0, "read current must be non-negative");
   MRAM_EXPECTS(duration >= 0.0, "read duration must be non-negative");
   if (duration == 0.0) return 0.0;
 
-  const double i = electrical_.current(state, v_read);
   // Positive bias pushes toward P: it destabilizes AP (barrier scaled by
-  // 1 - I/Ic(AP->P)) and stabilizes P (1 + I/Ic(P->AP)).
+  // (1 - I/Ic(AP->P))^2) and stabilizes P ((1 + I/Ic(P->AP))^2). The
+  // exponent is quadratic, the macrospin STT-activation barrier (Taniguchi
+  // & Imamura), not the linear form this function originally used: the
+  // stochastic-LLG read-disturb Monte Carlo (rdo::measure_read_disturb)
+  // reproduces the quadratic law within its statistics while the linear
+  // form under-predicts disturb rates by 1-2 orders of magnitude at
+  // I/Ic ~ 0.3-0.6 (tests/test_readout.cpp pins the agreement).
   double factor;
   if (state == MtjState::kAntiParallel) {
-    factor = 1.0 - i / ic(SwitchDirection::kApToP, hz_stray, t);
+    factor = 1.0 - i_read / ic(SwitchDirection::kApToP, hz_stray, t);
   } else {
-    factor = 1.0 + i / ic(SwitchDirection::kPToAp, hz_stray, t);
+    factor = 1.0 + i_read / ic(SwitchDirection::kPToAp, hz_stray, t);
   }
-  const double eff = delta(state, hz_stray, t) * std::max(factor, 0.0);
+  factor = std::max(factor, 0.0);
+  const double eff = delta(state, hz_stray, t) * factor * factor;
   const double rate = std::exp(-eff) / params_.attempt_time;
   return -std::expm1(-duration * rate);
 }

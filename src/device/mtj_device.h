@@ -127,11 +127,21 @@ class MtjDevice {
 
   /// Probability that a read at `v_read` volts (positive bias drives the
   /// AP->P direction, as the write path does) disturbs `state` within
-  /// `duration` seconds: thermally assisted reversal with the barrier
-  /// lowered (AP) or raised (P) by the read current relative to Ic.
+  /// `duration` seconds: thermally assisted reversal with the macrospin
+  /// STT-activation barrier Delta * (1 -/+ I/Ic)^2 -- lowered for AP,
+  /// raised for P. Validated against the stochastic-LLG read-disturb
+  /// ensemble (rdo::measure_read_disturb) in tests/test_readout.cpp.
   double read_disturb_probability(MtjState state, double v_read,
                                   double duration, double hz_stray,
                                   double t = 300.0) const;
+
+  /// Same model for an explicitly specified read current `i_read` [A]
+  /// (always of read polarity: toward P). The read path uses this: its
+  /// current comes from the bitline operating point (IR drop, divider,
+  /// per-read TMR variation), not from an ideal bias across the device.
+  double read_disturb_probability_at_current(MtjState state, double i_read,
+                                             double duration, double hz_stray,
+                                             double t = 300.0) const;
 
   // --- derived quantities --------------------------------------------------
 

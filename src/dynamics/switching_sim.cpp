@@ -14,8 +14,9 @@ using dev::MtjState;
 using dev::SwitchDirection;
 using num::Vec3;
 
-LlgParams llg_from_device(const dev::MtjDevice& device, SwitchDirection dir,
-                          double vp, double hz_stray, double temperature) {
+LlgParams llg_from_device_current(const dev::MtjDevice& device,
+                                  double current_toward_p, double hz_stray,
+                                  double temperature) {
   const auto& p = device.params();
   LlgParams llg;
   llg.hk = p.hk;
@@ -29,11 +30,17 @@ LlgParams llg_from_device(const dev::MtjDevice& device, SwitchDirection dir,
                    hz_stray * p.thermal.stray_field_scale(temperature)};
   llg.spin_polarization = {0.0, 0.0, 1.0};
   // Positive current drives the magnetization toward +z (the P state).
-  const double i =
-      device.electrical().current(initial_state(dir), vp);
-  llg.current = (dir == SwitchDirection::kApToP) ? i : -i;
+  llg.current = current_toward_p;
   llg.validate();
   return llg;
+}
+
+LlgParams llg_from_device(const dev::MtjDevice& device, SwitchDirection dir,
+                          double vp, double hz_stray, double temperature) {
+  const double i = device.electrical().current(initial_state(dir), vp);
+  return llg_from_device_current(
+      device, (dir == SwitchDirection::kApToP) ? i : -i, hz_stray,
+      temperature);
 }
 
 SwitchingStats llg_switching_stats(const dev::MtjDevice& device,
@@ -59,19 +66,6 @@ struct SwitchPartial {
   }
 };
 
-/// Thermal-equilibrium initial tilt: theta^2 ~ Exp(1/Delta). Consumes two
-/// uniforms from `rng` -- shared by the scalar and batched trial bodies so
-/// their stream consumption stays identical.
-Vec3 thermal_initial_tilt(util::Rng& rng, double delta, double mz0) {
-  const double u = std::max(rng.uniform(), 1e-300);
-  const double theta =
-      std::min(std::sqrt(-std::log(u) / std::max(delta, 1.0)), 0.5);
-  const double phi = rng.uniform(0.0, 2.0 * util::kPi);
-  return num::normalized({std::sin(theta) * std::cos(phi),
-                          std::sin(theta) * std::sin(phi),
-                          mz0 * std::cos(theta)});
-}
-
 SwitchingStats stats_from(const SwitchPartial& partial, std::size_t trials) {
   SwitchingStats stats;
   stats.trials = trials;
@@ -84,6 +78,16 @@ SwitchingStats stats_from(const SwitchPartial& partial, std::size_t trials) {
 }
 
 }  // namespace
+
+Vec3 thermal_initial_tilt(util::Rng& rng, double delta, double mz0) {
+  const double u = std::max(rng.uniform(), 1e-300);
+  const double theta =
+      std::min(std::sqrt(-std::log(u) / std::max(delta, 1.0)), 0.5);
+  const double phi = rng.uniform(0.0, 2.0 * util::kPi);
+  return num::normalized({std::sin(theta) * std::cos(phi),
+                          std::sin(theta) * std::sin(phi),
+                          mz0 * std::cos(theta)});
+}
 
 SwitchingStats llg_switching_stats(const dev::MtjDevice& device,
                                    SwitchDirection dir, double vp,

@@ -19,6 +19,22 @@ LlgParams llg_from_device(const dev::MtjDevice& device,
                           dev::SwitchDirection dir, double vp,
                           double hz_stray, double temperature = 300.0);
 
+/// Same mapping for an explicitly specified charge current (positive drives
+/// the magnetization toward +z, the P state). The read path uses this: a
+/// read current's magnitude comes from the bitline operating point, not
+/// from an ideal bias across the device, and its polarity is fixed by the
+/// read circuit rather than by a switching direction.
+LlgParams llg_from_device_current(const dev::MtjDevice& device,
+                                  double current_toward_p, double hz_stray,
+                                  double temperature = 300.0);
+
+/// Thermal-equilibrium initial tilt about the easy axis: theta^2 ~
+/// Exp(1/Delta), uniform azimuth, FL along sign(mz0). Consumes exactly two
+/// uniforms from `rng` -- the shared trial prologue of every scalar and
+/// batched stochastic-LLG ensemble (switching stats and read disturb), so
+/// their stream consumption stays identical.
+num::Vec3 thermal_initial_tilt(util::Rng& rng, double delta, double mz0);
+
 struct SwitchingStats {
   double mean_time = 0.0;    ///< [s] over switched trials
   double stddev_time = 0.0;  ///< [s]

@@ -46,6 +46,10 @@ const char* to_string(FaultClass cls) {
       return "write";
     case FaultClass::kRetentionFault:
       return "retention";
+    case FaultClass::kReadFault:
+      return "read";
+    case FaultClass::kReadDisturbFault:
+      return "read-disturb";
   }
   return "?";
 }
@@ -91,7 +95,8 @@ MarchResult run_march(MramArray& array,
                       const std::vector<MarchElement>& elements,
                       const WritePulse& pulse, util::Rng& rng,
                       double hold_between_elements,
-                      const FaultInjection* injection) {
+                      const FaultInjection* injection,
+                      const MarchReadHook& read_hook) {
   MRAM_EXPECTS(hold_between_elements >= 0.0,
                "hold time must be non-negative");
   MarchResult result;
@@ -100,6 +105,10 @@ MarchResult run_march(MramArray& array,
   // Per-cell flag: did the most recent write to this cell fail? Used to
   // classify read faults as write vs. retention faults.
   std::vector<char> last_write_failed(n, 0);
+  // Per-cell flag: is the stored value currently corrupted by a read
+  // disturb? Set when a hooked read flips the cell, cleared by the next
+  // write; a later mismatching read is then a read-disturb fault.
+  std::vector<char> read_disturbed(n, 0);
 
   for (std::size_t e = 0; e < elements.size(); ++e) {
     const auto& element = elements[e];
@@ -112,13 +121,43 @@ MarchResult run_march(MramArray& array,
         const MarchOp op = element.ops[o];
         if (is_read(op)) {
           ++result.reads;
-          const int observed = array.read(r, c);
           const int expected = op_bit(op);
-          if (observed != expected) {
-            const FaultClass cls = last_write_failed[idx]
-                                       ? FaultClass::kWriteFault
-                                       : FaultClass::kRetentionFault;
+          const int stored = array.read(r, c);
+          int observed = stored;
+          bool blocked = false;
+          bool disturbed = false;
+          if (read_hook) {
+            const ReadObservation ro = read_hook(array, r, c, rng);
+            observed = ro.observed;
+            blocked = ro.blocked;
+            disturbed = ro.disturbed;
+          }
+          if (blocked) {
+            // No valid data this strobe: always a detected (transient)
+            // read fault, whatever the cell holds.
+            result.faults.push_back(
+                {e, o, r, c, expected, -1, FaultClass::kReadFault});
+          } else if (observed != expected) {
+            FaultClass cls;
+            if (last_write_failed[idx]) {
+              cls = FaultClass::kWriteFault;
+            } else if (read_disturbed[idx]) {
+              cls = FaultClass::kReadDisturbFault;
+            } else if (stored == expected) {
+              // The array holds the right bit; the sense path misreported.
+              cls = FaultClass::kReadFault;
+            } else {
+              cls = FaultClass::kRetentionFault;
+            }
             result.faults.push_back({e, o, r, c, expected, observed, cls});
+          }
+          if (disturbed && !(injection && injection->is_stuck(r, c))) {
+            // Apply the disturb flip after the compare: the sense decision
+            // strobes before the accumulated torque completes the reversal.
+            arr::DataGrid grid = array.data();
+            grid.set(r, c, 1 - stored);
+            array.load(grid);
+            read_disturbed[idx] = 1;
           }
         } else {
           ++result.writes;
@@ -133,6 +172,7 @@ MarchResult run_march(MramArray& array,
           }
           result.failed_writes += failed;
           last_write_failed[idx] = failed ? 1 : 0;
+          if (!failed) read_disturbed[idx] = 0;
         }
       }
     }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -30,6 +31,11 @@ enum class FaultClass {
   kWriteFault,      ///< the most recent write to the cell failed to flip it
   kRetentionFault,  ///< the cell changed value spontaneously after a
                     ///< successful write (thermal flip / disturb)
+  kReadFault,       ///< the read itself misreported (sense decision error or
+                    ///< a metastable/blocked strobe); the stored bit is
+                    ///< intact, so a repeated read can pass
+  kReadDisturbFault, ///< the stored bit was flipped by an *earlier* read's
+                    ///< disturb and a later read caught the corruption
 };
 
 /// A detected mismatch: a read returned the complement of the expectation.
@@ -70,18 +76,39 @@ struct FaultInjection {
   bool is_volatile(std::size_t row, std::size_t col) const;
 };
 
+/// One observed read through a stochastic read path (see MarchReadHook).
+struct ReadObservation {
+  int observed = 0;       ///< bit the sense path reported (valid iff !blocked)
+  bool blocked = false;   ///< metastable strobe: no valid data this cycle
+  bool disturbed = false; ///< the read flipped the stored bit; run_march
+                          ///< applies the flip to the array after the compare
+};
+
+/// Optional stochastic read path: invoked for every march read instead of
+/// the ideal MramArray::read. The hook may draw randomness from `rng` (the
+/// same generator the writes consume, keeping the whole march a single
+/// deterministic stream) and reports what the sense circuit observed plus
+/// whether the read disturbed the cell. The readout layer provides an
+/// adapter over its ReadErrorModel (rdo::make_march_read_hook).
+using MarchReadHook = std::function<ReadObservation(
+    const MramArray&, std::size_t row, std::size_t col, util::Rng& rng)>;
+
 /// Runs `elements` on `array` with the given write pulse. Reads compare the
 /// stored bit against the march expectation; failed writes leave the old
 /// value in place (realistic fault activation, later detected and classified
 /// by the reads). When `hold_between_elements` > 0, the array relaxes
 /// thermally for that many seconds between elements, sensitizing retention
 /// faults in addition to write faults. `injection` (optional) overlays
-/// deterministic faults on top of the stochastic physics.
+/// deterministic faults on top of the stochastic physics. `read_hook`
+/// (optional) routes every read through a stochastic read path, adding read
+/// faults (misreads and blocked strobes; `observed` is recorded as -1 for a
+/// blocked strobe) and read-disturb faults to the detectable classes.
 MarchResult run_march(MramArray& array,
                       const std::vector<MarchElement>& elements,
                       const WritePulse& pulse, util::Rng& rng,
                       double hold_between_elements = 0.0,
-                      const FaultInjection* injection = nullptr);
+                      const FaultInjection* injection = nullptr,
+                      const MarchReadHook& read_hook = {});
 
 std::string to_string(MarchOp op);
 const char* to_string(FaultClass cls);

@@ -1,0 +1,26 @@
+#pragma once
+
+#include "mram/march.h"
+#include "readout/read_error.h"
+
+// Bridges the read-path subsystem into the march-test machinery: every
+// march read goes through the full stochastic read path (bitline IR drop
+// for the cell's actual row and column data, sense-amp statistics, read
+// disturb), so march algorithms detect and classify read faults
+// (FaultClass::kReadFault) and read-disturb faults
+// (FaultClass::kReadDisturbFault) next to the write and retention faults
+// they already catch.
+
+namespace mram::rdo {
+
+/// Builds a mem::MarchReadHook over `model`. The model's column length
+/// (path().bitline.rows) must equal the array's row count -- the hook reads
+/// the live column data under the cell being read, so the IR-drop operating
+/// point tracks the march pattern as it is written. The hook draws from the
+/// march's rng (one normal, two normals, at most one uniform per read --
+/// the ReadErrorModel::sample_read sequence), keeping the march a single
+/// deterministic stream. `model` must outlive the returned hook.
+mem::MarchReadHook make_march_read_hook(const ReadErrorModel& model,
+                                        double temperature = 300.0);
+
+}  // namespace mram::rdo

@@ -1,0 +1,137 @@
+#include "readout/read_error.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace mram::rdo {
+
+using dev::MtjState;
+
+void ReadPathConfig::validate() const {
+  transistor.validate();
+  bitline.validate();
+  sense.validate();
+  if (v_read <= 0.0) throw util::ConfigError("read voltage must be positive");
+  if (t_read <= 0.0) throw util::ConfigError("read pulse must be positive");
+  if (tmr_sigma_rel < 0.0) {
+    throw util::ConfigError("TMR sigma must be non-negative");
+  }
+}
+
+ReadErrorModel::ReadErrorModel(const dev::MtjParams& device,
+                               const ReadPathConfig& path)
+    : device_(device),
+      path_((path.validate(), path)),
+      sense_(path.sense),
+      bitline_(path.bitline, device_.electrical()) {
+  rp_ = device_.electrical().rp();
+}
+
+double ReadErrorModel::mtj_resistance(MtjState state, double v,
+                                      double tmr_mult) const {
+  if (state == MtjState::kParallel) return rp_;
+  const auto& ep = device_.params().electrical;
+  const double x = v / ep.vh;
+  return rp_ * (1.0 + tmr_mult * ep.tmr0 / (1.0 + x * x));
+}
+
+ReadErrorModel::CellRead ReadErrorModel::cell_read(const ReadPort& port,
+                                                   MtjState state,
+                                                   double tmr_mult) const {
+  const double r_series = port.r_thevenin + path_.transistor.r_read;
+  CellRead read;
+  if (state == MtjState::kParallel) {
+    // Bias-independent resistance: closed form.
+    read.i_cell = port.v_thevenin / (r_series + rp_);
+    read.v_mtj = read.i_cell * rp_;
+    return read;
+  }
+  // AP resistance depends on its own bias through the TMR roll-off; the map
+  // v <- v_th * R(v) / (R(v) + r_series) is a contraction (R bounded,
+  // r_series > 0), so a handful of iterations reaches double precision.
+  double v = port.v_thevenin * mtj_resistance(state, 0.0, tmr_mult) /
+             (mtj_resistance(state, 0.0, tmr_mult) + r_series);
+  for (int iter = 0; iter < 100; ++iter) {
+    const double r = mtj_resistance(state, v, tmr_mult);
+    const double v_next = port.v_thevenin * r / (r + r_series);
+    const bool converged = std::abs(v_next - v) < 1e-15 * port.v_thevenin;
+    v = v_next;
+    if (converged) break;
+  }
+  read.v_mtj = v;
+  read.i_cell = v / mtj_resistance(state, v, tmr_mult);
+  return read;
+}
+
+ReadErrorModel::OperatingPoint ReadErrorModel::operating_point(
+    std::size_t row, const std::vector<int>& column_data) const {
+  OperatingPoint op;
+  op.row = row;
+  op.port = bitline_.port(row, path_.v_read, column_data);
+  const CellRead p = cell_read(op.port, MtjState::kParallel);
+  const CellRead ap = cell_read(op.port, MtjState::kAntiParallel);
+  op.v_p = p.v_mtj;
+  op.v_ap = ap.v_mtj;
+  op.i_p = p.i_cell;
+  op.i_ap = ap.i_cell;
+  op.i_ref = 0.5 * (op.i_p + op.i_ap);
+  op.margin = 0.5 * (op.i_p - op.i_ap);
+  MRAM_ENSURES(op.margin > 0.0, "P must carry more read current than AP");
+  return op;
+}
+
+double ReadErrorModel::disturb_probability(MtjState stored, double i_cell,
+                                           double duration, double hz_stray,
+                                           double t) const {
+  // One home for the physics: the device's quadratic STT-activation model,
+  // evaluated at the actual (IR-dropped, TMR-varied) cell current.
+  return device_.read_disturb_probability_at_current(stored, i_cell, duration,
+                                                     hz_stray, t);
+}
+
+ReadErrorModel::ErrorBudget ReadErrorModel::error_budget(
+    const OperatingPoint& op, MtjState stored, double hz_stray,
+    double t) const {
+  ErrorBudget budget;
+  budget.decision = sense_.decision_error_probability(op.margin);
+  budget.blocked = sense_.blocked_probability(op.margin);
+  const double i_cell = stored == MtjState::kParallel ? op.i_p : op.i_ap;
+  budget.disturb =
+      disturb_probability(stored, i_cell, path_.t_read, hz_stray, t);
+  return budget;
+}
+
+ReadOutcome ReadErrorModel::sample_read(const OperatingPoint& op,
+                                        MtjState stored, double hz_stray,
+                                        double t, util::Rng& rng) const {
+  // Draw 1: this read's cell TMR deviation. Drawn for both states so the
+  // stream consumption never depends on the stored data; it only perturbs
+  // the AP branch (R_P carries no TMR term).
+  const double tmr_mult =
+      std::max(1.0 + path_.tmr_sigma_rel * rng.normal(), 0.05);
+  const CellRead read = cell_read(op.port, stored, tmr_mult);
+
+  // Draws 2-3: the sense comparison against the nominal reference.
+  const SenseOutcome sensed = sense_.sample(read.i_cell, op.i_ref, rng);
+
+  ReadOutcome out;
+  out.i_cell = read.i_cell;
+  out.margin = stored == MtjState::kParallel ? read.i_cell - op.i_ref
+                                             : op.i_ref - read.i_cell;
+  out.blocked = sensed == SenseOutcome::kBlocked;
+  if (!out.blocked) {
+    out.observed =
+        sensed == SenseOutcome::kReadAp ? 1 : 0;
+    out.decision_error = out.observed != dev::state_to_bit(stored);
+  }
+
+  // Draw 4: read disturb at the actual (TMR-varied, IR-dropped) current.
+  const double p_disturb =
+      disturb_probability(stored, read.i_cell, path_.t_read, hz_stray, t);
+  out.disturbed = rng.bernoulli(p_disturb);
+  return out;
+}
+
+}  // namespace mram::rdo

@@ -1,0 +1,325 @@
+#include "readout/rer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dynamics/switching_sim.h"
+#include "util/error.h"
+
+namespace mram::rdo {
+
+using dev::MtjState;
+
+std::size_t resolve_row(std::size_t row, const BitlineParams& bitline) {
+  if (row == kFarRow) return bitline.rows - 1;
+  MRAM_EXPECTS(row < bitline.rows, "selected row out of range");
+  return row;
+}
+
+std::vector<int> make_column_data(arr::PatternKind kind, std::size_t rows,
+                                  util::Rng& rng) {
+  const arr::DataGrid grid = arr::make_pattern(kind, rows, 1, rng);
+  std::vector<int> column(rows);
+  for (std::size_t r = 0; r < rows; ++r) column[r] = grid.at(r, 0);
+  return column;
+}
+
+// --- measure_rer -----------------------------------------------------------
+
+namespace {
+
+struct RerPartial {
+  std::size_t decision_errors = 0;
+  std::size_t blocked = 0;
+  std::size_t disturbs = 0;
+  util::RunningStats margin;
+
+  void merge(const RerPartial& o) {
+    decision_errors += o.decision_errors;
+    blocked += o.blocked;
+    disturbs += o.disturbs;
+    margin.merge(o.margin);
+  }
+};
+
+void fold_read(const ReadOutcome& outcome, RerPartial& acc) {
+  acc.decision_errors += outcome.decision_error;
+  acc.blocked += outcome.blocked;
+  acc.disturbs += outcome.disturbed;
+  acc.margin.add(outcome.margin);
+}
+
+}  // namespace
+
+RerResult measure_rer(const RerConfig& config, util::Rng& rng) {
+  eng::MonteCarloRunner runner(config.runner);
+  return measure_rer(config, rng, runner);
+}
+
+RerResult measure_rer(const RerConfig& config, util::Rng& rng,
+                      eng::MonteCarloRunner& runner) {
+  MRAM_EXPECTS(config.trials > 0, "need at least one trial");
+  config.path.validate();
+  const std::size_t row = resolve_row(config.row, config.path.bitline);
+
+  // Shared setup, exactly once: the column pattern (the caller's rng seeds
+  // a random pattern and the master seed, like measure_wer's background)
+  // and the model with its nominal operating point.
+  const ReadErrorModel model(config.device, config.path);
+  const auto column =
+      make_column_data(config.column_pattern, config.path.bitline.rows, rng);
+  const std::uint64_t seed = rng();
+  const auto op = model.operating_point(row, column);
+
+  // The batched path hoists the trial-invariant electrical solve: every
+  // trial reads the same cell on the same column, so the ladder reduction
+  // and the reference current are one evaluation per run. Each lane then
+  // consumes exactly the per-read draw sequence of ReadErrorModel::
+  // sample_read -- the same draws the scalar reference path consumes -- and
+  // folding lanes in trial order keeps the accumulation order, so every
+  // statistic is bit-identical to batch_lanes == 0 (which still re-derives
+  // the operating point per trial, exercising the full pipeline).
+  const auto partial =
+      (config.batch_lanes > 0)
+          ? runner.run_batched<RerPartial>(
+                config.trials, seed, config.batch_lanes,
+                [&](util::Rng* rngs, std::size_t, std::size_t lanes,
+                    RerPartial& acc) {
+                  for (std::size_t l = 0; l < lanes; ++l) {
+                    fold_read(model.sample_read(op, config.stored,
+                                                config.hz_stray,
+                                                config.temperature, rngs[l]),
+                              acc);
+                  }
+                })
+          : runner.run<RerPartial>(
+                config.trials, seed,
+                [&](util::Rng& trial_rng, std::size_t, RerPartial& acc) {
+                  const auto trial_op = model.operating_point(row, column);
+                  fold_read(model.sample_read(trial_op, config.stored,
+                                              config.hz_stray,
+                                              config.temperature, trial_rng),
+                            acc);
+                });
+
+  RerResult result;
+  result.trials = config.trials;
+  result.decision_errors = partial.decision_errors;
+  result.blocked = partial.blocked;
+  result.disturbs = partial.disturbs;
+  result.read_errors = partial.decision_errors + partial.blocked;
+  result.rer = static_cast<double>(result.read_errors) /
+               static_cast<double>(result.trials);
+  result.disturb_rate = static_cast<double>(result.disturbs) /
+                        static_cast<double>(result.trials);
+  result.confidence = util::wilson_interval(result.read_errors, result.trials);
+  result.mean_margin = partial.margin.mean();
+  result.op = op;
+  return result;
+}
+
+// --- measure_read_disturb --------------------------------------------------
+
+namespace {
+
+struct DisturbPartial {
+  std::size_t disturbed = 0;
+  util::RunningStats times;
+
+  void merge(const DisturbPartial& o) {
+    disturbed += o.disturbed;
+    times.merge(o.times);
+  }
+};
+
+}  // namespace
+
+ReadDisturbResult measure_read_disturb(const ReadDisturbConfig& config,
+                                       util::Rng& rng) {
+  eng::MonteCarloRunner runner(config.runner);
+  return measure_read_disturb(config, rng, runner);
+}
+
+ReadDisturbResult measure_read_disturb(const ReadDisturbConfig& config,
+                                       util::Rng& rng,
+                                       eng::MonteCarloRunner& runner) {
+  MRAM_EXPECTS(config.trials > 0, "need at least one trial");
+  MRAM_EXPECTS(config.dt > 0.0, "LLG step must be positive");
+  config.path.validate();
+  const std::size_t row = resolve_row(config.row, config.path.bitline);
+  const double duration =
+      config.duration > 0.0 ? config.duration : config.path.t_read;
+
+  const ReadErrorModel model(config.device, config.path);
+  const auto column =
+      make_column_data(config.column_pattern, config.path.bitline.rows, rng);
+  const auto op = model.operating_point(row, column);
+  const bool parallel = config.stored == MtjState::kParallel;
+  const double i_read = parallel ? op.i_p : op.i_ap;
+  const double v_mtj = parallel ? op.v_p : op.v_ap;
+
+  // The read polarity always drives toward P, whatever the stored state:
+  // the current magnitude comes from the bitline operating point.
+  const auto llg = dyn::llg_from_device_current(
+      model.device(), i_read, config.hz_stray, config.temperature);
+  const double delta =
+      model.device().delta(config.stored, config.hz_stray, config.temperature);
+  const double mz0 = dev::state_direction(config.stored);
+
+  const std::uint64_t seed = rng();
+  constexpr std::size_t kMaxLanes = 64;
+  MRAM_EXPECTS(config.batch_lanes <= kMaxLanes,
+               "read-disturb lane width capped at 64");
+
+  // Identical trial bodies: thermal tilt (two uniforms) then the stochastic
+  // Heun integration. The batched kernel's per-lane arithmetic is the same
+  // inline stochastic_heun_step the scalar MacrospinSim executes, so the
+  // two paths are bitwise identical for the same (seed, trials).
+  const auto partial =
+      (config.batch_lanes > 0)
+          ? runner.run_batched<DisturbPartial>(
+                config.trials, seed, config.batch_lanes,
+                [&] { return dyn::BatchMacrospinSim(llg); },
+                [&](dyn::BatchMacrospinSim& batch, util::Rng* rngs,
+                    std::size_t, std::size_t lanes, DisturbPartial& acc) {
+                  num::Vec3 m0[kMaxLanes];
+                  dyn::SwitchResult result[kMaxLanes];
+                  for (std::size_t l = 0; l < lanes; ++l) {
+                    m0[l] = dyn::thermal_initial_tilt(rngs[l], delta, mz0);
+                  }
+                  batch.run_until_switch(lanes, m0, rngs, duration, config.dt,
+                                         result);
+                  for (std::size_t l = 0; l < lanes; ++l) {
+                    if (result[l].switched) {
+                      ++acc.disturbed;
+                      acc.times.add(result[l].time);
+                    }
+                  }
+                })
+          : runner.run<DisturbPartial>(
+                config.trials, seed,
+                [&] { return dyn::MacrospinSim(llg); },
+                [&](dyn::MacrospinSim& sim, util::Rng& trial_rng, std::size_t,
+                    DisturbPartial& acc) {
+                  const num::Vec3 m0 =
+                      dyn::thermal_initial_tilt(trial_rng, delta, mz0);
+                  const auto result =
+                      sim.run_until_switch(m0, duration, config.dt, trial_rng);
+                  if (result.switched) {
+                    ++acc.disturbed;
+                    acc.times.add(result.time);
+                  }
+                });
+
+  ReadDisturbResult result;
+  result.trials = config.trials;
+  result.disturbed = partial.disturbed;
+  result.rate = static_cast<double>(result.disturbed) /
+                static_cast<double>(result.trials);
+  result.confidence = util::wilson_interval(result.disturbed, result.trials);
+  if (partial.disturbed > 0) result.mean_switch_time = partial.times.mean();
+  result.analytic_probability = model.disturb_probability(
+      config.stored, i_read, duration, config.hz_stray, config.temperature);
+  result.i_read = i_read;
+  result.v_mtj = v_mtj;
+  return result;
+}
+
+// --- read_yield ------------------------------------------------------------
+
+void ReadYieldSpec::validate() const {
+  if (min_margin_sigma <= 0.0) {
+    throw util::ConfigError("margin spec must be positive");
+  }
+  if (max_disturb <= 0.0 || max_disturb >= 1.0) {
+    throw util::ConfigError("disturb budget must be in (0, 1)");
+  }
+  if (temperature <= 0.0) {
+    throw util::ConfigError("temperature must be positive");
+  }
+}
+
+namespace {
+
+struct YieldPartial {
+  std::size_t pass_margin = 0;
+  std::size_t pass_disturb = 0;
+  std::size_t pass_both = 0;
+
+  void merge(const YieldPartial& o) {
+    pass_margin += o.pass_margin;
+    pass_disturb += o.pass_disturb;
+    pass_both += o.pass_both;
+  }
+};
+
+}  // namespace
+
+ReadYieldResult read_yield(const ReadYieldConfig& config, util::Rng& rng) {
+  eng::MonteCarloRunner runner(config.runner);
+  return read_yield(config, rng, runner);
+}
+
+ReadYieldResult read_yield(const ReadYieldConfig& config, util::Rng& rng,
+                           eng::MonteCarloRunner& runner) {
+  MRAM_EXPECTS(config.samples > 0, "need at least one sample");
+  config.path.validate();
+  config.spec.validate();
+  config.variation.validate();
+
+  const auto column = make_column_data(config.column_pattern,
+                                       config.path.bitline.rows, rng);
+  const std::size_t far_row = config.path.bitline.rows - 1;
+  const std::uint64_t seed = rng();
+
+  // One sampled device per trial: draw the varied parameters, rebuild its
+  // read path (its own resistances, intra field and margins) and check the
+  // specs at the far row. The batched path runs the identical body lane by
+  // lane in trial order, so batch_lanes only changes the scheduling shape,
+  // never a draw or a comparison -- bit-identical to the scalar path.
+  auto sample_one = [&](util::Rng& trial_rng, YieldPartial& acc) {
+    const auto varied = config.variation.sample(config.nominal, trial_rng);
+    const ReadErrorModel model(varied, config.path);
+    const auto op = model.operating_point(far_row, column);
+    const double hz = model.device().intra_stray_field();
+    const double t = config.spec.temperature;
+
+    const bool margin_ok =
+        op.margin >= config.spec.min_margin_sigma *
+                         model.sense_amp().total_sigma();
+    const double p_disturb = model.disturb_probability(
+        MtjState::kAntiParallel, op.i_ap, config.path.t_read, hz, t);
+    const bool disturb_ok = p_disturb <= config.spec.max_disturb;
+
+    acc.pass_margin += margin_ok;
+    acc.pass_disturb += disturb_ok;
+    acc.pass_both += margin_ok && disturb_ok;
+  };
+
+  const auto partial =
+      (config.batch_lanes > 0)
+          ? runner.run_batched<YieldPartial>(
+                config.samples, seed, config.batch_lanes,
+                [&](util::Rng* rngs, std::size_t, std::size_t lanes,
+                    YieldPartial& acc) {
+                  for (std::size_t l = 0; l < lanes; ++l) {
+                    sample_one(rngs[l], acc);
+                  }
+                })
+          : runner.run<YieldPartial>(
+                config.samples, seed,
+                [&](util::Rng& trial_rng, std::size_t, YieldPartial& acc) {
+                  sample_one(trial_rng, acc);
+                });
+
+  ReadYieldResult result;
+  result.sampled = config.samples;
+  result.pass_margin = partial.pass_margin;
+  result.pass_disturb = partial.pass_disturb;
+  result.pass_both = partial.pass_both;
+  result.yield = static_cast<double>(result.pass_both) /
+                 static_cast<double>(result.sampled);
+  return result;
+}
+
+}  // namespace mram::rdo

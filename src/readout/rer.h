@@ -1,0 +1,146 @@
+#pragma once
+
+#include "array/data_pattern.h"
+#include "dynamics/llg_batch.h"
+#include "engine/monte_carlo.h"
+#include "readout/read_error.h"
+#include "sim/variation.h"
+#include "util/stats.h"
+
+// Monte Carlo read-path workloads, mirroring the write side's measure_wer
+// structure: every driver runs on eng::MonteCarloRunner with per-trial
+// counter-based streams (bit-identical across thread counts), exposes an
+// eng::RunnerConfig, and carries a `batch_lanes` knob whose 0 setting
+// selects the scalar reference path -- the batched path folds its lanes in
+// trial order and consumes the identical per-trial draw sequence, so both
+// paths agree bit for bit for the same (seed, trials).
+//
+//   measure_rer          -- read error rate of one cell: decision errors,
+//                           transient-blocked strobes and analytic-model
+//                           read disturbs, per sampled read.
+//   measure_read_disturb -- stochastic-LLG read disturb: integrates the
+//                           actual read-current torque on the batched
+//                           BatchMacrospinSim kernel (scalar MacrospinSim
+//                           reference at batch_lanes = 0).
+//   read_yield           -- fraction of process-varied devices meeting the
+//                           sense-margin and read-disturb specs at the
+//                           worst-case (far) row.
+
+namespace mram::rdo {
+
+/// Sentinel for "the last row of the column" (the worst-case read position).
+inline constexpr std::size_t kFarRow = static_cast<std::size_t>(-1);
+
+struct RerConfig {
+  dev::MtjParams device = dev::MtjParams::reference_device(35e-9);
+  ReadPathConfig path;
+  dev::MtjState stored = dev::MtjState::kAntiParallel;
+  std::size_t row = kFarRow;  ///< selected row; kFarRow = rows - 1
+  arr::PatternKind column_pattern = arr::PatternKind::kCheckerboard;
+  double hz_stray = 0.0;      ///< stray field at the victim [A/m, at Tref]
+  double temperature = 300.0; ///< [K]
+  std::size_t trials = 1000;
+  eng::RunnerConfig runner;
+  std::size_t batch_lanes = 8;  ///< trials per lane-block; 0 = scalar
+                                ///< reference path (bit-identical results)
+};
+
+struct RerResult {
+  std::size_t trials = 0;
+  std::size_t decision_errors = 0;  ///< sensed the complement of the stored bit
+  std::size_t blocked = 0;          ///< metastable strobes (no valid data)
+  std::size_t disturbs = 0;         ///< reads that flipped the stored bit
+  std::size_t read_errors = 0;      ///< decision_errors + blocked
+  double rer = 0.0;                 ///< read_errors / trials
+  double disturb_rate = 0.0;        ///< disturbs / trials
+  util::Interval confidence;        ///< 95% Wilson interval on rer
+  double mean_margin = 0.0;         ///< mean signed sensed margin [A]
+  ReadErrorModel::OperatingPoint op;  ///< nominal operating point
+};
+
+/// Repeatedly reads one cell storing `stored` at the configured row and
+/// column pattern, sampling the full read path per trial.
+RerResult measure_rer(const RerConfig& config, util::Rng& rng);
+RerResult measure_rer(const RerConfig& config, util::Rng& rng,
+                      eng::MonteCarloRunner& runner);
+
+struct ReadDisturbConfig {
+  dev::MtjParams device = dev::MtjParams::reference_device(35e-9);
+  ReadPathConfig path;
+  dev::MtjState stored = dev::MtjState::kAntiParallel;
+  std::size_t row = kFarRow;
+  arr::PatternKind column_pattern = arr::PatternKind::kAllZero;
+  double hz_stray = 0.0;
+  double temperature = 300.0;
+  double duration = 0.0;  ///< read pulse [s]; 0 = path.t_read
+  double dt = 1e-12;      ///< LLG step [s]
+  std::size_t trials = 256;
+  eng::RunnerConfig runner;
+  std::size_t batch_lanes = dyn::BatchMacrospinSim::kDefaultLanes;
+                          ///< 0 = scalar MacrospinSim reference path
+};
+
+struct ReadDisturbResult {
+  std::size_t trials = 0;
+  std::size_t disturbed = 0;
+  double rate = 0.0;
+  util::Interval confidence;       ///< 95% Wilson interval on rate
+  double mean_switch_time = 0.0;   ///< over disturbed trials [s]
+  double analytic_probability = 0.0;  ///< thermal-activation model, same drive
+  double i_read = 0.0;             ///< read current through the cell [A]
+  double v_mtj = 0.0;              ///< bias across the MTJ [V]
+};
+
+/// Stochastic-LLG read disturb: each trial tilts the stored state thermally
+/// and integrates the read-current torque for the pulse duration; a crossing
+/// of the mz = 0 plane is a disturb.
+ReadDisturbResult measure_read_disturb(const ReadDisturbConfig& config,
+                                       util::Rng& rng);
+ReadDisturbResult measure_read_disturb(const ReadDisturbConfig& config,
+                                       util::Rng& rng,
+                                       eng::MonteCarloRunner& runner);
+
+/// Pass/fail criteria applied to each sampled device at the worst-case row.
+struct ReadYieldSpec {
+  double min_margin_sigma = 6.0;  ///< sense margin / total comparator sigma
+  double max_disturb = 1e-9;      ///< analytic disturb probability per read
+  double temperature = 300.0;     ///< [K]
+
+  void validate() const;
+};
+
+struct ReadYieldResult {
+  std::size_t sampled = 0;
+  std::size_t pass_margin = 0;
+  std::size_t pass_disturb = 0;
+  std::size_t pass_both = 0;
+  double yield = 0.0;  ///< pass_both / sampled
+};
+
+struct ReadYieldConfig {
+  dev::MtjParams nominal = dev::MtjParams::reference_device(35e-9);
+  sim::VariationModel variation;
+  ReadPathConfig path;
+  ReadYieldSpec spec;
+  arr::PatternKind column_pattern = arr::PatternKind::kAllZero;
+  std::size_t samples = 600;
+  eng::RunnerConfig runner;
+  std::size_t batch_lanes = 8;  ///< 0 = scalar reference path
+};
+
+/// Monte Carlo read yield: draws devices from the process-variation
+/// distribution, rebuilds each one's read path (its own resistances, intra
+/// field and margins) and checks the specs at the far row.
+ReadYieldResult read_yield(const ReadYieldConfig& config, util::Rng& rng);
+ReadYieldResult read_yield(const ReadYieldConfig& config, util::Rng& rng,
+                           eng::MonteCarloRunner& runner);
+
+/// Resolves kFarRow against the configured column length.
+std::size_t resolve_row(std::size_t row, const BitlineParams& bitline);
+
+/// Expands a pattern kind into per-row column bits (bit 1 = AP). `rng` is
+/// consumed only by arr::PatternKind::kRandom, exactly as make_pattern does.
+std::vector<int> make_column_data(arr::PatternKind kind, std::size_t rows,
+                                  util::Rng& rng);
+
+}  // namespace mram::rdo

@@ -1,0 +1,60 @@
+#include "readout/sense_amp.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace mram::rdo {
+
+namespace {
+
+/// Standard normal CDF.
+double phi(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+}  // namespace
+
+void SenseAmpParams::validate() const {
+  if (offset_sigma < 0.0 || reference_sigma < 0.0) {
+    throw util::ConfigError("sense-amp sigmas must be non-negative");
+  }
+  if (metastable_band < 0.0) {
+    throw util::ConfigError("metastable band must be non-negative");
+  }
+}
+
+SenseAmp::SenseAmp(const SenseAmpParams& params) : params_(params) {
+  params_.validate();
+  sigma_ = std::hypot(params_.offset_sigma, params_.reference_sigma);
+}
+
+SenseOutcome SenseAmp::sample(double i_cell, double i_ref,
+                              util::Rng& rng) const {
+  // Offset first, then reference mismatch: the draw order is part of the
+  // determinism contract shared by the scalar and batched read paths.
+  const double offset = rng.normal(0.0, params_.offset_sigma);
+  const double ref_error = rng.normal(0.0, params_.reference_sigma);
+  const double differential = (i_cell + offset) - (i_ref + ref_error);
+  if (std::abs(differential) < params_.metastable_band) {
+    return SenseOutcome::kBlocked;
+  }
+  return differential > 0.0 ? SenseOutcome::kReadP : SenseOutcome::kReadAp;
+}
+
+double SenseAmp::decision_error_probability(double margin) const {
+  // Wrong side means the differential crossed past the far edge of the
+  // metastable band.
+  if (sigma_ == 0.0) {
+    return margin + params_.metastable_band < 0.0 ? 1.0 : 0.0;
+  }
+  return phi(-(margin + params_.metastable_band) / sigma_);
+}
+
+double SenseAmp::blocked_probability(double margin) const {
+  if (sigma_ == 0.0) {
+    return std::abs(margin) < params_.metastable_band ? 1.0 : 0.0;
+  }
+  return phi((params_.metastable_band - margin) / sigma_) -
+         phi((-params_.metastable_band - margin) / sigma_);
+}
+
+}  // namespace mram::rdo

@@ -1,0 +1,65 @@
+#pragma once
+
+#include "util/rng.h"
+
+// Current-mode sense amplifier with statistical non-idealities.
+//
+// A read compares the selected cell's current against a reference current
+// (nominally the P/AP midpoint). Two Gaussian error terms corrupt the
+// comparison: the amplifier's input-referred offset and the mismatch of the
+// reference generator. When the corrupted differential lands inside the
+// metastable band the latch fails to resolve within the strobe window -- a
+// transient-blocked read (no valid data this cycle, not a stored-bit error).
+//
+// Determinism contract: sample() consumes exactly two normal() draws from
+// the caller's Rng (offset first, then reference mismatch), so any scalar
+// and batched Monte Carlo paths that call it with the same per-trial
+// counter-based stream (util::Rng::stream) stay bit-identical. The analytic
+// helpers evaluate the same model in closed form for hoisted fast paths and
+// spec checks.
+
+namespace mram::rdo {
+
+struct SenseAmpParams {
+  double offset_sigma = 0.4e-6;      ///< input-referred offset sigma [A]
+  double reference_sigma = 0.25e-6;  ///< reference-current mismatch sigma [A]
+  double metastable_band = 0.05e-6;  ///< |differential| below this fails to
+                                     ///< latch within the strobe window [A]
+
+  void validate() const;
+};
+
+/// Outcome of one sense operation.
+enum class SenseOutcome {
+  kReadP,     ///< latched high cell current: reported bit 0 (P)
+  kReadAp,    ///< latched low cell current: reported bit 1 (AP)
+  kBlocked,   ///< metastable: no valid decision this cycle
+};
+
+class SenseAmp {
+ public:
+  explicit SenseAmp(const SenseAmpParams& params);
+
+  const SenseAmpParams& params() const { return params_; }
+
+  /// Total comparison sigma: sqrt(offset^2 + reference^2) [A].
+  double total_sigma() const { return sigma_; }
+
+  /// One sampled read decision comparing `i_cell` against `i_ref`.
+  /// Consumes exactly two normal() draws from `rng`.
+  SenseOutcome sample(double i_cell, double i_ref, util::Rng& rng) const;
+
+  /// P(decision lands on the wrong side) for a read with signed margin
+  /// `margin` (positive = correctly distinguishable, the
+  /// Cell1T1R::sense_margin convention).
+  double decision_error_probability(double margin) const;
+
+  /// P(differential lands inside the metastable band) at signed `margin`.
+  double blocked_probability(double margin) const;
+
+ private:
+  SenseAmpParams params_;
+  double sigma_;
+};
+
+}  // namespace mram::rdo

@@ -6,6 +6,7 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
   register_characterization_scenarios(registry);
   register_coupling_scenarios(registry);
   register_memory_scenarios(registry);
+  register_readout_scenarios(registry);
   register_ablation_scenarios(registry);
 }
 

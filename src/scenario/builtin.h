@@ -11,6 +11,7 @@ namespace mram::scn {
 void register_characterization_scenarios(ScenarioRegistry& registry);
 void register_coupling_scenarios(ScenarioRegistry& registry);
 void register_memory_scenarios(ScenarioRegistry& registry);
+void register_readout_scenarios(ScenarioRegistry& registry);
 void register_ablation_scenarios(ScenarioRegistry& registry);
 
 }  // namespace mram::scn

@@ -12,7 +12,7 @@ int run_scenario_main(const std::string& name) {
   try {
     const Scenario& scenario = ScenarioRegistry::global().at(name);
     eng::MonteCarloRunner runner;  // default config: hardware threads
-    ScenarioContext ctx{runner};
+    ScenarioContext ctx{.runner = runner};
     ctx.data_dir = "data";  // picked up when run from the repo root
     const ResultSet results = scenario.run(ctx);
     const RunMeta meta{ctx.seed, runner.threads(), ctx.trial_scale};

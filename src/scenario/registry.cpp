@@ -1,5 +1,8 @@
 #include "scenario/registry.h"
 
+#include <algorithm>
+#include <cctype>
+
 #include "util/error.h"
 
 namespace mram::scn {
@@ -38,6 +41,31 @@ std::vector<std::string> ScenarioRegistry::names() const {
   std::vector<std::string> out;
   out.reserve(scenarios_.size());
   for (const auto& [name, scenario] : scenarios_) out.push_back(name);
+  return out;
+}
+
+namespace {
+
+std::string lowered(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> ScenarioRegistry::names_by_figure(
+    const std::string& tag) const {
+  const std::string needle = lowered(tag);
+  std::vector<std::string> out;
+  for (const auto& [name, scenario] : scenarios_) {
+    if (needle.empty() ||
+        lowered(scenario.info.figure).find(needle) != std::string::npos) {
+      out.push_back(name);
+    }
+  }
   return out;
 }
 

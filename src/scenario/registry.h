@@ -38,6 +38,11 @@ class ScenarioRegistry {
   /// Registered names in sorted order.
   std::vector<std::string> names() const;
 
+  /// Registered names (sorted) whose figure tag contains `tag`,
+  /// case-insensitively -- `list --figure mem` matches "Memory". An empty
+  /// tag matches everything.
+  std::vector<std::string> names_by_figure(const std::string& tag) const;
+
   std::size_t size() const { return scenarios_.size(); }
 
   /// The process-wide registry, with the built-ins registered on first use.

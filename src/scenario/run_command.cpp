@@ -1,0 +1,84 @@
+#include "scenario/run_command.h"
+
+#include <chrono>
+#include <exception>
+#include <filesystem>
+#include <ostream>
+
+#include "scenario/result_sink.h"
+#include "util/table.h"
+
+namespace mram::scn {
+
+int run_scenarios(const ScenarioRegistry& registry,
+                  const RunCommandOptions& opt, std::ostream& out,
+                  std::ostream& err) {
+  const std::vector<std::string> names =
+      opt.all ? registry.names() : opt.names;
+  if (names.empty()) {
+    err << "run: no scenarios selected (name them or pass --all)\n";
+    return 2;
+  }
+  for (const auto& name : names) registry.at(name);  // fail fast on typos
+
+  if (!opt.out_dir.empty()) {
+    std::filesystem::create_directories(opt.out_dir);
+  }
+  const auto sink = make_sink(opt.format, out, opt.out_dir);
+
+  eng::RunnerConfig runner_cfg;
+  runner_cfg.threads = opt.threads;
+  eng::MonteCarloRunner runner(runner_cfg);  // one pool for the whole run
+
+  int failures = 0;
+  double total_secs = 0.0;
+  util::Table summary({"scenario", "status", "tables", "wall (s)"});
+  for (const auto& name : names) {
+    const auto& scenario = registry.at(name);
+    const auto start = std::chrono::steady_clock::now();
+    auto elapsed = [&] {
+      return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           start)
+          .count();
+    };
+    try {
+      ScenarioContext ctx{.runner = runner};
+      ctx.seed = opt.seed;
+      ctx.data_dir = opt.data_dir;
+      ctx.trial_scale = opt.trial_scale;
+      const ResultSet results = scenario.run(ctx);
+      const RunMeta meta{opt.seed, runner.threads(), opt.trial_scale};
+      sink->write(scenario.info, meta, results);
+      const double secs = elapsed();
+      total_secs += secs;
+      summary.add_row({name, "ok", std::to_string(results.tables.size()),
+                       util::format_double(secs, 2)});
+      if (!opt.out_dir.empty()) {
+        out << "ok   " << name << " (" << results.tables.size()
+            << " tables, " << util::format_double(secs, 2) << " s)\n";
+      }
+    } catch (const std::exception& e) {
+      ++failures;
+      const double secs = elapsed();
+      total_secs += secs;
+      summary.add_row({name, "FAIL", "-", util::format_double(secs, 2)});
+      err << "FAIL " << name << ": " << e.what() << "\n";
+    }
+  }
+  // Per-scenario wall-clock summary, always on `err` so it never corrupts
+  // piped csv/json output: scenario-level perf regressions show up here
+  // without rerunning the microbenches.
+  if (names.size() > 1) {
+    summary.print(err,
+                  "run summary (" + util::format_double(total_secs, 2) +
+                      " s total, " + std::to_string(runner.threads()) +
+                      " threads)");
+  }
+  if (failures > 0) {
+    err << failures << " of " << names.size() << " scenarios failed\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace mram::scn

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "scenario/registry.h"
+
+// The `run` command of the scenario CLI, factored out of the binary so the
+// whole pipeline -- scenario selection, the shared-runner execution loop,
+// sink dispatch, the per-scenario wall-clock summary table and the exit
+// code -- is testable against stream doubles (tests/test_scenario.cpp
+// smoke-checks the summary table) and reusable by other tools.
+
+namespace mram::scn {
+
+struct RunCommandOptions {
+  std::vector<std::string> names;  ///< explicit scenario selection
+  bool all = false;                ///< run every registered scenario
+  unsigned threads = 0;            ///< worker threads; 0 = hardware concurrency
+  std::uint64_t seed = ScenarioContext::kDefaultSeed;
+  std::string format = "table";    ///< table | csv | json
+  std::string out_dir;             ///< "" = stream results to `out`
+  std::string data_dir = "data";   ///< anchor CSV directory
+  double trial_scale = 1.0;        ///< multiplies stochastic trial counts
+};
+
+/// Runs the selected scenarios of `registry` on one shared runner. Results
+/// go to `out` (or into opt.out_dir with one-line statuses on `out`);
+/// failures and -- when more than one scenario ran -- the per-scenario
+/// wall-clock summary table go to `err`, so piped csv/json output is never
+/// corrupted. Returns the process exit code: 0 on success, 1 when any
+/// scenario failed, 2 on an empty selection.
+int run_scenarios(const ScenarioRegistry& registry,
+                  const RunCommandOptions& opt, std::ostream& out,
+                  std::ostream& err);
+
+}  // namespace mram::scn

@@ -1,0 +1,494 @@
+// Built-in read-path scenarios: read error rate vs read voltage and vs TMR,
+// the sense-margin profile under bitline IR drop, stochastic-LLG read
+// disturb vs pulse width, the combined read+retention word failure rate,
+// and a March C- census running every read through the stochastic read
+// path. All stochastic trials run through the shared MonteCarloRunner (the
+// read-disturb study on its batched BatchMacrospinSim path), so every
+// scenario is bit-identical across --threads for a fixed seed.
+
+#include <string>
+#include <vector>
+
+#include "mram/march.h"
+#include "mram/mram_array.h"
+#include "readout/march_read.h"
+#include "readout/read_error.h"
+#include "readout/rer.h"
+#include "scenario/builtin.h"
+#include "scenario/sweep.h"
+#include "sim/variation.h"
+#include "util/stats.h"
+#include "util/units.h"
+
+namespace mram::scn {
+
+namespace {
+
+using dev::MtjState;
+using util::s_to_ns;
+
+/// The shared weakened read-stress device: a low barrier puts both the
+/// thermally activated disturb rates and the retention flips in the
+/// Monte-Carlo-measurable range, mirroring the retention_faults scenario's
+/// weakened-device convention.
+dev::MtjParams read_stress_device() {
+  auto params = dev::MtjParams::reference_device(35e-9);
+  params.delta0 = 14.0;
+  return params;
+}
+
+// --- RER vs read voltage ---------------------------------------------------
+
+ResultSet run_rer_vs_vread(ScenarioContext& ctx) {
+  ResultSet out;
+  SweepDriver driver(ctx.runner, ctx.seed);
+
+  // The weakened device exposes both failure slopes of the read-voltage
+  // window in one sweep: too little bias starves the sense margin
+  // (decision errors + blocked strobes), too much drives the AP state over
+  // its disturb barrier.
+  rdo::RerConfig cfg;
+  cfg.device = read_stress_device();
+  cfg.trials = ctx.scaled_trials(1500);
+  const double hz = dev::MtjDevice(cfg.device).intra_stray_field();
+  cfg.hz_stray = hz;
+  const double sigma =
+      rdo::SenseAmp(cfg.path.sense).total_sigma();
+
+  const Grid grid(GridAxis::list(
+      "v_read", {0.02, 0.03, 0.04, 0.06, 0.09, 0.13, 0.17, 0.22}));
+  out.tables.push_back(driver.sweep(
+      "rer_vs_vread",
+      "stored AP at the far row, all-P column, weakened device (delta0 = 14)",
+      {"V_read (V)", "margin (uA)", "margin/sigma", "RER", "95% lo", "95% hi",
+       "decision", "blocked", "disturb rate"},
+      grid, [&](const SweepPoint& pt) -> std::vector<Cell> {
+        auto c = cfg;
+        c.path.v_read = pt.at.x;
+        c.column_pattern = arr::PatternKind::kAllZero;
+        util::Rng rng = pt.rng();
+        const auto r = rdo::measure_rer(c, rng, pt.runner);
+        return {Cell(pt.at.x, 2), Cell(r.op.margin * 1e6, 3),
+                Cell(r.op.margin / sigma, 1), Cell(r.rer, 4),
+                Cell(r.confidence.lo, 4), Cell(r.confidence.hi, 4),
+                Cell::integer(static_cast<long long>(r.decision_errors)),
+                Cell::integer(static_cast<long long>(r.blocked)),
+                Cell(r.disturb_rate, 4)};
+      }));
+
+  out.notes.push_back(
+      "The read-voltage window: below ~5 sigma of margin the sense amp\n"
+      "misdecides or hangs metastable, while past I/Ic ~ 0.5 the read\n"
+      "current thermally activates AP->P disturbs -- the two-sided\n"
+      "constraint every STT-MRAM read bias sits between.");
+  return out;
+}
+
+// --- RER vs TMR ------------------------------------------------------------
+
+ResultSet run_rer_vs_tmr(ScenarioContext& ctx) {
+  ResultSet out;
+  SweepDriver driver(ctx.runner, ctx.seed);
+
+  rdo::RerConfig cfg;  // nominal device: the TMR axis is the variable
+  cfg.path.v_read = 0.05;
+  cfg.trials = ctx.scaled_trials(1500);
+  cfg.hz_stray = dev::MtjDevice(cfg.device).intra_stray_field();
+  const double sigma = rdo::SenseAmp(cfg.path.sense).total_sigma();
+
+  const Grid grid(
+      GridAxis::list("tmr0", {0.4, 0.6, 0.8, 1.0, 1.2, 1.5, 2.0}));
+  out.tables.push_back(driver.sweep(
+      "rer_vs_tmr",
+      "stored AP at the far row, V_read = 0.05 V, checkerboard column",
+      {"TMR0", "margin (uA)", "margin/sigma", "RER", "95% lo", "95% hi"},
+      grid, [&](const SweepPoint& pt) -> std::vector<Cell> {
+        auto c = cfg;
+        c.device.electrical.tmr0 = pt.at.x;
+        util::Rng rng = pt.rng();
+        const auto r = rdo::measure_rer(c, rng, pt.runner);
+        return {Cell(pt.at.x, 2), Cell(r.op.margin * 1e6, 3),
+                Cell(r.op.margin / sigma, 1), Cell(r.rer, 4),
+                Cell(r.confidence.lo, 4), Cell(r.confidence.hi, 4)};
+      }));
+
+  out.notes.push_back(
+      "The sense margin grows with TMR0 (saturating through the bias\n"
+      "roll-off), so the read error rate collapses exponentially -- the\n"
+      "memory-level reason TMR is the headline figure of merit for MTJ\n"
+      "stacks.");
+  return out;
+}
+
+// --- sense margin under IR drop --------------------------------------------
+
+struct MarginPartial {
+  util::RunningStats margin;
+
+  void merge(const MarginPartial& o) { margin.merge(o.margin); }
+};
+
+ResultSet run_sense_margin_ir(ScenarioContext& ctx) {
+  ResultSet out;
+  SweepDriver driver(ctx.runner, ctx.seed);
+
+  const auto params = dev::MtjParams::reference_device(35e-9);
+  rdo::ReadPathConfig path;
+  path.v_read = 0.2;
+  const rdo::ReadErrorModel model(params, path);
+  const std::size_t rows = path.bitline.rows;
+  const double sigma = model.sense_amp().total_sigma();
+
+  util::Rng pattern_rng(1);  // deterministic kinds only: never consumed
+  const auto col_p =
+      rdo::make_column_data(arr::PatternKind::kAllZero, rows, pattern_rng);
+  const auto col_cb = rdo::make_column_data(arr::PatternKind::kCheckerboard,
+                                            rows, pattern_rng);
+  const auto col_ap =
+      rdo::make_column_data(arr::PatternKind::kAllOne, rows, pattern_rng);
+
+  const Grid grid(GridAxis::list("row", {0, 15, 31, 47, 63}));
+  out.tables.push_back(driver.sweep(
+      "margin_vs_row",
+      "nominal sense margin along a 64-row column, V_read = 0.2 V",
+      {"row", "series R (Ohm)", "R_thev (Ohm)", "margin all-P (uA)",
+       "margin checker (uA)", "margin all-AP (uA)", "margin/sigma (all-P)"},
+      grid, [&](const SweepPoint& pt) -> std::vector<Cell> {
+        const auto row = static_cast<std::size_t>(pt.at.x);
+        const auto op_p = model.operating_point(row, col_p);
+        const auto op_cb = model.operating_point(row, col_cb);
+        const auto op_ap = model.operating_point(row, col_ap);
+        return {Cell::integer(static_cast<long long>(row)),
+                Cell(model.bitline().series_resistance(row), 1),
+                Cell(op_p.port.r_thevenin, 1), Cell(op_p.margin * 1e6, 4),
+                Cell(op_cb.margin * 1e6, 4), Cell(op_ap.margin * 1e6, 4),
+                Cell(op_p.margin / sigma, 2)};
+      }));
+
+  // Margin distribution over process variation at the near and far rows,
+  // one runner trial per sampled device.
+  const sim::VariationModel variation;
+  const std::size_t devices = ctx.scaled_trials(400);
+  auto& dist = out.add(
+      "margin_distribution",
+      "sense margin over " + std::to_string(devices) +
+          " process-varied devices, all-P column",
+      {"row", "mean (uA)", "sigma (uA)", "min (uA)", "mean/amp-sigma"});
+  for (const std::size_t row : {std::size_t{0}, rows - 1}) {
+    const auto acc = ctx.runner.run<MarginPartial>(
+        devices, driver.point_seed(grid.size() + (row == 0 ? 0 : 1)),
+        [&](util::Rng& rng, std::size_t, MarginPartial& p) {
+          const auto varied = variation.sample(params, rng);
+          const rdo::ReadErrorModel vm(varied, path);
+          p.margin.add(vm.operating_point(row, col_p).margin * 1e6);
+        });
+    dist.add_row({Cell::integer(static_cast<long long>(row)),
+                  Cell(acc.margin.mean(), 4), Cell(acc.margin.stddev(), 4),
+                  Cell(acc.margin.min(), 4),
+                  Cell(acc.margin.mean() / (sigma * 1e6), 2)});
+  }
+
+  out.notes.push_back(
+      "IR drop along the bitline/source-line ladder costs the far row\n"
+      "~14% of its margin; the column data modulates the sneak-path load\n"
+      "by much less (off-transistor leakage dominates the branch). Process\n"
+      "variation widens the margin distribution far more than either.");
+  return out;
+}
+
+// --- read disturb vs pulse width -------------------------------------------
+
+ResultSet run_read_disturb_vs_pulse(ScenarioContext& ctx) {
+  ResultSet out;
+  SweepDriver driver(ctx.runner, ctx.seed);
+
+  rdo::ReadDisturbConfig cfg;
+  cfg.device = read_stress_device();
+  cfg.path.v_read = 0.12;
+  cfg.trials = ctx.scaled_trials(240);
+  cfg.hz_stray = dev::MtjDevice(cfg.device).intra_stray_field();
+
+  const Grid grid(GridAxis::list("pulse_ns", {5.0, 10.0, 20.0, 40.0, 80.0}));
+  out.tables.push_back(driver.sweep(
+      "disturb_vs_pulse",
+      "stochastic-LLG read disturb, stored AP at the far row (delta0 = 14,"
+      " V_read = 0.12 V)",
+      {"pulse (ns)", "disturb rate", "95% lo", "95% hi", "analytic",
+       "mean t_switch (ns)", "I_read (uA)"},
+      grid, [&](const SweepPoint& pt) -> std::vector<Cell> {
+        auto c = cfg;
+        c.duration = pt.at.x * 1e-9;
+        util::Rng rng = pt.rng();
+        const auto r = rdo::measure_read_disturb(c, rng, pt.runner);
+        return {Cell(pt.at.x, 1), Cell(r.rate, 4), Cell(r.confidence.lo, 4),
+                Cell(r.confidence.hi, 4), Cell(r.analytic_probability, 4),
+                Cell(s_to_ns(r.mean_switch_time), 2),
+                Cell(r.i_read * 1e6, 2)};
+      }));
+
+  out.notes.push_back(
+      "Disturb probability climbs with the strobe duration following the\n"
+      "thermally activated rate at the STT-reduced barrier\n"
+      "Delta (1 - I/Ic)^2; the analytic column tracks the LLG ensemble\n"
+      "within its prefactor accuracy. Trials integrate on the batched SoA\n"
+      "kernel -- bit-identical to the scalar path and across threads.");
+  return out;
+}
+
+// --- combined read + retention word failure --------------------------------
+
+struct WordPartial {
+  std::size_t word_failures = 0;
+  std::size_t retention_flips = 0;
+  std::size_t read_errors = 0;
+  std::size_t disturbs = 0;
+
+  void merge(const WordPartial& o) {
+    word_failures += o.word_failures;
+    retention_flips += o.retention_flips;
+    read_errors += o.read_errors;
+    disturbs += o.disturbs;
+  }
+};
+
+ResultSet run_read_retention_word(ScenarioContext& ctx) {
+  ResultSet out;
+  SweepDriver driver(ctx.runner, ctx.seed);
+
+  // A weakened hot-chip device read back through a starved sense margin: a
+  // stored word accumulates thermal flips over the hold, then the readback
+  // itself adds decision errors -- the end-to-end failure probability a
+  // scrub policy actually sees. delta0 = 26 at 360 K puts the retention /
+  // read-error crossover inside the hold grid.
+  auto params = dev::MtjParams::reference_device(35e-9);
+  params.delta0 = 26.0;
+  const double temperature = 360.0;
+  rdo::ReadPathConfig path;
+  path.v_read = 0.05;
+
+  constexpr std::size_t kWordBits = 8;
+  const rdo::ReadErrorModel model(params, path);
+  const double hz = model.device().intra_stray_field();
+  const std::size_t trials = ctx.scaled_trials(600);
+
+  // Word bits live at rows 0..7 of the column holding a checkerboard
+  // pattern; everything is trial-invariant except the draws, so operating
+  // points and flip probabilities hoist out of the trial loop entirely.
+  util::Rng pattern_rng(1);
+  const auto column = rdo::make_column_data(arr::PatternKind::kCheckerboard,
+                                            path.bitline.rows, pattern_rng);
+  std::vector<rdo::ReadErrorModel::OperatingPoint> ops;
+  for (std::size_t b = 0; b < kWordBits; ++b) {
+    ops.push_back(model.operating_point(b, column));
+  }
+
+  const Grid grid(GridAxis::list("hold_s", {1e-4, 1e-3, 1e-2, 1e-1}));
+  out.tables.push_back(driver.sweep(
+      "word_failure_vs_hold",
+      std::to_string(kWordBits) + "-bit word, delta0 = 26 at 360 K, V_read"
+      " = 0.05 V",
+      {"hold (s)", "word failure", "95% lo", "95% hi",
+       "retention flips/word", "read errors/word", "disturbs/word"},
+      grid, [&](const SweepPoint& pt) -> std::vector<Cell> {
+        const double hold = pt.at.x;
+        // Per-state flip probabilities for this hold, hoisted.
+        double p_flip[kWordBits];
+        for (std::size_t b = 0; b < kWordBits; ++b) {
+          const auto stored = dev::bit_to_state(column[b]);
+          p_flip[b] = model.device().flip_probability(
+              stored, hz, hold, temperature);
+        }
+        util::Rng rng = pt.rng();
+        const std::uint64_t seed = rng();
+        const auto acc = pt.runner.run<WordPartial>(
+            trials, seed,
+            [&](util::Rng& trial_rng, std::size_t, WordPartial& p) {
+              bool word_ok = true;
+              for (std::size_t b = 0; b < kWordBits; ++b) {
+                const int written = column[b];
+                // Retention: the bit may flip during the hold.
+                int stored_bit = written;
+                if (trial_rng.bernoulli(p_flip[b])) {
+                  stored_bit = 1 - stored_bit;
+                  ++p.retention_flips;
+                }
+                // Readback through the full read path.
+                const auto outcome = model.sample_read(
+                    ops[b], dev::bit_to_state(stored_bit), hz, temperature,
+                    trial_rng);
+                p.read_errors += outcome.decision_error || outcome.blocked;
+                p.disturbs += outcome.disturbed;
+                const bool bit_ok = !outcome.blocked &&
+                                    outcome.observed == written;
+                word_ok = word_ok && bit_ok;
+              }
+              p.word_failures += !word_ok;
+            });
+        const double n = static_cast<double>(trials);
+        const auto word_ci = util::wilson_interval(acc.word_failures, trials);
+        return {Cell(hold, 4), Cell(acc.word_failures / n, 4),
+                Cell(word_ci.lo, 4), Cell(word_ci.hi, 4),
+                Cell(acc.retention_flips / n, 4),
+                Cell(acc.read_errors / n, 4), Cell(acc.disturbs / n, 4)};
+      }));
+
+  out.notes.push_back(
+      "At the shortest holds the word failure rate is the read path's\n"
+      "(margin starved at 0.05 V); past ~1 ms the Neel--Brown flips of the\n"
+      "hot weakened cells take over -- the crossover a scrub interval must\n"
+      "sit left of, now including the readback's own error contribution.");
+  return out;
+}
+
+// --- March C- through the stochastic read path -----------------------------
+
+ResultSet run_march_read_path(ScenarioContext& ctx) {
+  ResultSet out;
+  SweepDriver driver(ctx.runner, ctx.seed);
+
+  // Stable writes (relaxed pitch, strong pulse): every detected fault is
+  // the read path's. Three sweep points: a starved margin under March C-
+  // (decision errors / blocked strobes), a disturb-prone bias under March
+  // C- (whose r1,w0 element structure *masks* AP->P disturbs: the write
+  // that follows every read heals the flip before any read can catch it),
+  // and the same disturb-prone bias under a read-hammer march (w1 sweep,
+  // then four back-to-back r1 -- the repeated reads catch the flips).
+  const std::vector<mem::MarchElement> hammer = {
+      {mem::MarchOrder::kAscending, {mem::MarchOp::kW1}},
+      {mem::MarchOrder::kAscending,
+       {mem::MarchOp::kR1, mem::MarchOp::kR1, mem::MarchOp::kR1,
+        mem::MarchOp::kR1}},
+  };
+  const Grid grid(GridAxis::list("mode", {0, 1, 2}));
+  out.tables.push_back(driver.sweep(
+      "march_read_faults",
+      "march tests on a 5x5 array, reads through the stochastic read path",
+      {"mode", "algorithm", "V_read (V)", "reads", "read faults",
+       "read-disturb faults", "write faults", "retention faults"},
+      grid, [&](const SweepPoint& pt) -> std::vector<Cell> {
+        const int mode = static_cast<int>(pt.at.x);
+        const bool disturb_bias = mode > 0;
+        mem::ArrayConfig cfg;
+        cfg.device = dev::MtjParams::reference_device(35e-9);
+        if (disturb_bias) cfg.device.delta0 = 16.0;
+        cfg.pitch = 2.0 * 35e-9;
+        cfg.rows = cfg.cols = 5;
+        mem::MramArray array(cfg);
+
+        rdo::ReadPathConfig path;
+        path.bitline.rows = cfg.rows;  // the hook reads the live 5-row column
+        path.v_read = disturb_bias ? 0.14 : 0.03;
+        path.t_read = 30e-9;
+        const rdo::ReadErrorModel model(cfg.device, path);
+        const auto hook = rdo::make_march_read_hook(model, cfg.temperature);
+
+        const auto& elements = mode == 2 ? hammer : mem::march_c_minus();
+        const mem::WritePulse strong{1.2, 100e-9};
+        util::Rng rng = pt.rng();
+        const auto result =
+            mem::run_march(array, elements, strong, rng, 0.0, nullptr, hook);
+        return {
+            Cell(disturb_bias ? "disturb" : "margin"),
+            Cell(mode == 2 ? "hammer 5N" : "March C-"),
+            Cell(path.v_read, 2),
+            Cell::integer(static_cast<long long>(result.reads)),
+            Cell::integer(static_cast<long long>(
+                result.count(mem::FaultClass::kReadFault))),
+            Cell::integer(static_cast<long long>(
+                result.count(mem::FaultClass::kReadDisturbFault))),
+            Cell::integer(static_cast<long long>(
+                result.count(mem::FaultClass::kWriteFault))),
+            Cell::integer(static_cast<long long>(
+                result.count(mem::FaultClass::kRetentionFault)))};
+      }));
+
+  out.notes.push_back(
+      "March C- surfaces transient read faults (it reads every cell five\n"
+      "times) but structurally masks AP->P read disturbs: each r1 is\n"
+      "followed by w0, healing the flip before any read can detect it. The\n"
+      "read-hammer element (w1; r1,r1,r1,r1) closes that escape -- the\n"
+      "first hammered read disturbs, the next one catches the corruption\n"
+      "as a read-disturb fault. Device-aware read-fault modeling changes\n"
+      "which march algorithm you need, not just the fault counts.");
+  return out;
+}
+
+}  // namespace
+
+void register_readout_scenarios(ScenarioRegistry& registry) {
+  registry.add(
+      {{"rer_vs_read_voltage", "Readout",
+        "read error rate across the read-voltage window",
+        "Monte Carlo RER of the far-row cell of a 64-row column on the"
+        " weakened (delta0 = 14) device: decision errors and blocked"
+        " strobes at starved margins, thermally activated AP->P disturbs"
+        " at aggressive bias. Trials run on the shared MonteCarloRunner:"
+        " bit-identical across --threads.",
+        {{"delta0", "14", "weakened barrier (measurable disturb rates)"},
+         {"rows", "64", "column length"},
+         {"v_read", "{0.02..0.22} V", "read voltage grid"},
+         {"trials", "1500 per point", "Monte Carlo reads (scaled)"}}},
+       run_rer_vs_vread});
+  registry.add(
+      {{"rer_vs_tmr", "Readout", "read error rate vs TMR0",
+        "Monte Carlo RER at a fixed starved read voltage (0.05 V) across"
+        " zero-bias TMR values: the sense margin grows with TMR and the"
+        " error rate collapses exponentially.",
+        {{"v_read", "0.05 V", "read voltage (starved margin)"},
+         {"tmr0", "{0.4..2.0}", "zero-bias TMR grid"},
+         {"trials", "1500 per point", "Monte Carlo reads (scaled)"}}},
+       run_rer_vs_tmr});
+  registry.add(
+      {{"sense_margin_ir_drop", "Readout",
+        "sense margin along the column under IR drop",
+        "Nominal sense margin vs row of a 64-row column for all-P /"
+        " checkerboard / all-AP column data (the bitline + source-line"
+        " ladder and the data-dependent sneak load), plus the margin"
+        " distribution over process variation at the near and far rows.",
+        {{"v_read", "0.2 V", "read voltage"},
+         {"rows", "64", "column length"},
+         {"devices", "400", "varied devices for the distribution (scaled)"}}},
+       run_sense_margin_ir});
+  registry.add(
+      {{"read_disturb_vs_pulse", "Readout",
+        "stochastic-LLG read disturb vs pulse width",
+        "Batched stochastic-LLG integration of the read-current torque on"
+        " the stored AP state across strobe durations, with the analytic"
+        " thermal-activation model (quadratic STT-reduced barrier)"
+        " alongside. Batched and scalar reference paths are bitwise"
+        " identical.",
+        {{"delta0", "14", "weakened barrier (measurable disturb rates)"},
+         {"v_read", "0.12 V", "read voltage (I/Ic ~ 0.5)"},
+         {"pulse_ns", "{5..80} ns", "strobe duration grid"},
+         {"trials", "240 per point", "LLG trials (scaled)"}}},
+       run_read_disturb_vs_pulse});
+  registry.add(
+      {{"read_retention_word", "Readout",
+        "combined read + retention word failure rate",
+        "An 8-bit word on the weakened hot-chip device (delta0 = 26,"
+        " 360 K) accumulates Neel--Brown flips over a hold, then reads"
+        " back through the starved-margin read path: end-to-end word"
+        " failure probability vs hold time with the retention and read"
+        " contributions separated.",
+        {{"delta0 / T", "26 / 360 K", "weakened hot-chip device"},
+         {"v_read", "0.05 V", "read voltage (starved margin)"},
+         {"hold_s", "{1e-4..1e-1} s", "hold durations"},
+         {"trials", "600 per point", "Monte Carlo words (scaled)"}}},
+       run_read_retention_word});
+  registry.add(
+      {{"march_read_path", "Readout",
+        "march fault census through the stochastic read path",
+        "Runs march tests with every read routed through the full read"
+        " path (IR drop, sense statistics, disturb) on a stable-write"
+        " array: a starved-margin mode surfaces transient read faults"
+        " under March C-, and a disturb-prone mode shows March C-"
+        " structurally masking AP->P read disturbs (every r1 is followed"
+        " by a healing w0) while a read-hammer element detects them.",
+        {{"pitch", "2 x eCD", "relaxed pitch (writes are stable)"},
+         {"modes", "margin 0.03 V / disturb 0.14 V x {C-, hammer}",
+          "read stress and algorithm"},
+         {"pulse", "1.2 V, 100 ns", "strong write pulse"}}},
+       run_march_read_path});
+}
+
+}  // namespace mram::scn

@@ -347,6 +347,43 @@ TEST(ThreadPool, PropagatesFirstException) {
   EXPECT_EQ(n.load(), 8);
 }
 
+TEST(ThreadPool, ZeroTasksReturnsWithoutInvoking) {
+  // An empty job must neither invoke the task nor wedge the pool.
+  eng::ThreadPool pool(3);
+  std::atomic<int> calls{0};
+  pool.for_each(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+  // The pool is still fully functional afterwards.
+  pool.for_each(16, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 16);
+}
+
+TEST(ThreadPool, ManyMoreChunksThanThreads) {
+  // Far more indices than workers: the claim counter must hand out every
+  // index exactly once with no gaps, and the caller must participate.
+  eng::ThreadPool pool(2);
+  constexpr std::size_t kCount = 50000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.for_each(kCount, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPool, NestedWaitOnADifferentPool) {
+  // The documented reentrancy limit is per-pool: a task may block on a
+  // *different* pool's for_each (e.g. a sweep body dispatching through a
+  // second runner). Every inner job must complete, and the outer job must
+  // drain even though its workers spend time parked inside inner waits.
+  eng::ThreadPool outer(3);
+  eng::ThreadPool inner(2);
+  std::atomic<std::size_t> inner_sum{0};
+  outer.for_each(8, [&](std::size_t) {
+    inner.for_each(10, [&](std::size_t j) { inner_sum += j + 1; });
+  });
+  EXPECT_EQ(inner_sum.load(), 8u * 55u);
+}
+
 // --- Monte Carlo runner determinism -----------------------------------------
 
 struct CountPartial {

@@ -1,0 +1,487 @@
+// Tests for src/readout: the bitline IR-drop ladder (Thevenin reduction
+// against closed-form limits), sense-amplifier statistics (sampled outcomes
+// vs the analytic probabilities), the composed read-error model, the Monte
+// Carlo drivers' batched-vs-scalar and cross-thread bit identity, the
+// analytic read-disturb model validated against the stochastic-LLG
+// ensemble, and the march read-path integration.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "mram/march.h"
+#include "mram/mram_array.h"
+#include "readout/bitline.h"
+#include "readout/march_read.h"
+#include "readout/read_error.h"
+#include "readout/rer.h"
+#include "readout/sense_amp.h"
+#include "util/error.h"
+
+namespace mram::rdo {
+namespace {
+
+using dev::MtjState;
+
+dev::ElectricalModel nominal_cell() {
+  const auto params = dev::MtjParams::reference_device(35e-9);
+  return dev::ElectricalModel(params.electrical, params.stack.area());
+}
+
+// --- bitline ladder ---------------------------------------------------------
+
+TEST(Bitline, ValidationRejectsBadConfigs) {
+  BitlineParams params;
+  params.rows = 0;
+  EXPECT_THROW(BitlinePath(params, nominal_cell()), util::ConfigError);
+  params = BitlineParams{};
+  params.r_driver = 0.0;
+  EXPECT_THROW(BitlinePath(params, nominal_cell()), util::ConfigError);
+  params = BitlineParams{};
+  params.r_leak = -1.0;
+  EXPECT_THROW(BitlinePath(params, nominal_cell()), util::ConfigError);
+}
+
+TEST(Bitline, NoLeakLimitRecoversSeriesResistance) {
+  // With the sneak paths effectively open, the port must reduce to the
+  // ideal wire: v_th = v_read exactly (no current flows anywhere when the
+  // port is open) and r_th = the series resistance of the row.
+  BitlineParams params;
+  params.rows = 16;
+  params.r_leak = 1e15;
+  const BitlinePath path(params, nominal_cell());
+  const std::vector<int> column(16, 0);
+  for (const std::size_t row : {std::size_t{0}, std::size_t{7},
+                                std::size_t{15}}) {
+    const ReadPort port = path.port(row, 0.2, column);
+    EXPECT_NEAR(port.v_thevenin, 0.2, 0.2 * 1e-9);
+    EXPECT_NEAR(port.r_thevenin, path.series_resistance(row),
+                path.series_resistance(row) * 1e-6);
+  }
+}
+
+TEST(Bitline, FarRowsSeeWeakerStifferPort) {
+  const BitlinePath path(BitlineParams{}, nominal_cell());
+  const std::vector<int> column(BitlineParams{}.rows, 0);
+  double last_v = 1e9, last_r = 0.0;
+  for (const std::size_t row : {std::size_t{0}, std::size_t{21},
+                                std::size_t{42}, std::size_t{63}}) {
+    const ReadPort port = path.port(row, 0.2, column);
+    EXPECT_LT(port.v_thevenin, last_v);
+    EXPECT_GT(port.r_thevenin, last_r);
+    last_v = port.v_thevenin;
+    last_r = port.r_thevenin;
+  }
+}
+
+TEST(Bitline, ColumnDataModulatesSneakLoad) {
+  // An all-P column leaks more (lower MTJ resistance in every sneak
+  // branch), so the port sags slightly against an all-AP column.
+  const BitlinePath path(BitlineParams{}, nominal_cell());
+  const std::size_t rows = BitlineParams{}.rows;
+  const ReadPort p = path.port(rows - 1, 0.2, std::vector<int>(rows, 0));
+  const ReadPort ap = path.port(rows - 1, 0.2, std::vector<int>(rows, 1));
+  EXPECT_LT(p.v_thevenin, ap.v_thevenin);
+  EXPECT_GT(ap.v_thevenin / p.v_thevenin - 1.0, 0.0);
+}
+
+TEST(Bitline, PortArithmetic) {
+  const ReadPort port{1.0, 1000.0};
+  EXPECT_DOUBLE_EQ(port.current_into(1000.0), 0.5e-3);
+  EXPECT_DOUBLE_EQ(port.voltage_across(1000.0), 0.5);
+}
+
+// --- sense amplifier --------------------------------------------------------
+
+TEST(SenseAmp, ValidationRejectsNegativeSigmas) {
+  SenseAmpParams params;
+  params.offset_sigma = -1.0;
+  EXPECT_THROW(SenseAmp{params}, util::ConfigError);
+  params = SenseAmpParams{};
+  params.metastable_band = -1.0;
+  EXPECT_THROW(SenseAmp{params}, util::ConfigError);
+}
+
+TEST(SenseAmp, NoiselessAmpIsDeterministic) {
+  SenseAmpParams params;
+  params.offset_sigma = 0.0;
+  params.reference_sigma = 0.0;
+  params.metastable_band = 0.1e-6;
+  const SenseAmp amp(params);
+  util::Rng rng(1);
+  EXPECT_EQ(amp.sample(10e-6, 5e-6, rng), SenseOutcome::kReadP);
+  EXPECT_EQ(amp.sample(1e-6, 5e-6, rng), SenseOutcome::kReadAp);
+  EXPECT_EQ(amp.sample(5.01e-6, 5e-6, rng), SenseOutcome::kBlocked);
+  EXPECT_DOUBLE_EQ(amp.decision_error_probability(1e-6), 0.0);
+  EXPECT_DOUBLE_EQ(amp.decision_error_probability(-1e-6), 1.0);
+  EXPECT_DOUBLE_EQ(amp.blocked_probability(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(amp.blocked_probability(1e-6), 0.0);
+}
+
+TEST(SenseAmp, SampledRatesMatchAnalyticProbabilities) {
+  const SenseAmp amp(SenseAmpParams{});
+  const double sigma = amp.total_sigma();
+  EXPECT_NEAR(sigma, std::hypot(0.4e-6, 0.25e-6), 1e-12);
+  // Margin of one sigma: appreciable error and blocked probabilities.
+  const double i_ref = 10e-6;
+  const double i_cell = i_ref + sigma;
+  util::Rng rng(2);
+  const int n = 20000;
+  int wrong = 0, blocked = 0;
+  for (int k = 0; k < n; ++k) {
+    const SenseOutcome outcome = amp.sample(i_cell, i_ref, rng);
+    wrong += outcome == SenseOutcome::kReadAp;
+    blocked += outcome == SenseOutcome::kBlocked;
+  }
+  const double p_err = amp.decision_error_probability(sigma);
+  const double p_blk = amp.blocked_probability(sigma);
+  // Within four binomial sigmas.
+  EXPECT_NEAR(wrong / static_cast<double>(n), p_err,
+              4.0 * std::sqrt(p_err * (1.0 - p_err) / n));
+  EXPECT_NEAR(blocked / static_cast<double>(n), p_blk,
+              4.0 * std::sqrt(p_blk * (1.0 - p_blk) / n));
+  // The analytic pieces are monotone in the margin.
+  EXPECT_GT(amp.decision_error_probability(0.0),
+            amp.decision_error_probability(sigma));
+  EXPECT_GT(amp.blocked_probability(0.0), amp.blocked_probability(sigma));
+}
+
+// --- read-error model -------------------------------------------------------
+
+ReadPathConfig small_path(double v_read = 0.2, std::size_t rows = 16) {
+  ReadPathConfig path;
+  path.v_read = v_read;
+  path.bitline.rows = rows;
+  return path;
+}
+
+TEST(ReadErrorModel, MarginShrinksAlongTheColumn) {
+  const auto params = dev::MtjParams::reference_device(35e-9);
+  const ReadErrorModel model(params, small_path());
+  const std::vector<int> column(16, 0);
+  const auto near = model.operating_point(0, column);
+  const auto far = model.operating_point(15, column);
+  EXPECT_GT(near.margin, far.margin);
+  EXPECT_GT(far.margin, 0.0);
+  // The midpoint reference sits between the state currents.
+  EXPECT_GT(near.i_p, near.i_ref);
+  EXPECT_GT(near.i_ref, near.i_ap);
+  // And the error budget worsens with the row.
+  const auto hz = model.device().intra_stray_field();
+  EXPECT_GE(model.error_budget(far, MtjState::kAntiParallel, hz).decision,
+            model.error_budget(near, MtjState::kAntiParallel, hz).decision);
+}
+
+TEST(ReadErrorModel, CellReadSolvesTheDivider) {
+  const auto params = dev::MtjParams::reference_device(35e-9);
+  const ReadPathConfig path = small_path();
+  const ReadErrorModel model(params, path);
+  const auto op = model.operating_point(7, std::vector<int>(16, 0));
+  // Self-consistency of the AP fixed point: i * (r_th + r_read) + v = v_th.
+  const auto read = model.cell_read(op.port, MtjState::kAntiParallel);
+  EXPECT_NEAR(read.i_cell * (op.port.r_thevenin + path.transistor.r_read) +
+                  read.v_mtj,
+              op.port.v_thevenin, op.port.v_thevenin * 1e-9);
+  // A higher TMR multiplier raises the AP resistance, lowering the current.
+  const auto high = model.cell_read(op.port, MtjState::kAntiParallel, 1.5);
+  EXPECT_LT(high.i_cell, read.i_cell);
+  // The P branch is TMR-independent.
+  EXPECT_DOUBLE_EQ(model.cell_read(op.port, MtjState::kParallel, 1.5).i_cell,
+                   model.cell_read(op.port, MtjState::kParallel, 1.0).i_cell);
+}
+
+TEST(ReadErrorModel, DisturbProbabilityPhysics) {
+  auto params = dev::MtjParams::reference_device(35e-9);
+  params.delta0 = 14.0;
+  const ReadErrorModel model(params, small_path());
+  const double hz = model.device().intra_stray_field();
+  // Zero duration: no disturb. Monotone in current for the AP state.
+  EXPECT_DOUBLE_EQ(
+      model.disturb_probability(MtjState::kAntiParallel, 10e-6, 0.0, hz), 0.0);
+  const double lo =
+      model.disturb_probability(MtjState::kAntiParallel, 6e-6, 30e-9, hz);
+  const double hi =
+      model.disturb_probability(MtjState::kAntiParallel, 12e-6, 30e-9, hz);
+  EXPECT_GT(hi, lo);
+  EXPECT_GT(lo, 0.0);
+  // The read polarity stabilizes P: orders of magnitude below AP.
+  EXPECT_LT(model.disturb_probability(MtjState::kParallel, 12e-6, 30e-9, hz),
+            1e-6 * hi);
+}
+
+TEST(ReadErrorModel, MatchesDeviceReadDisturbAtEqualCurrent) {
+  // MtjDevice::read_disturb_probability evaluated at an ideal bias and the
+  // model's current-driven form agree when fed the same current.
+  auto params = dev::MtjParams::reference_device(35e-9);
+  params.delta0 = 14.0;
+  const ReadErrorModel model(params, small_path());
+  const dev::MtjDevice device(params);
+  const double hz = device.intra_stray_field();
+  const double v = 0.15;
+  const double i = device.electrical().current(MtjState::kAntiParallel, v);
+  EXPECT_NEAR(device.read_disturb_probability(MtjState::kAntiParallel, v,
+                                              30e-9, hz),
+              model.disturb_probability(MtjState::kAntiParallel, i, 30e-9, hz),
+              1e-12);
+}
+
+// --- measure_rer ------------------------------------------------------------
+
+RerConfig rer_config() {
+  RerConfig cfg;
+  cfg.path = small_path(0.04);  // starved margin: measurable error rates
+  cfg.trials = 600;
+  cfg.hz_stray = dev::MtjDevice(cfg.device).intra_stray_field();
+  return cfg;
+}
+
+TEST(MeasureRer, BatchedMatchesScalarBitwise) {
+  auto cfg = rer_config();
+  cfg.batch_lanes = 8;
+  util::Rng rng_a(11);
+  const auto batched = measure_rer(cfg, rng_a);
+  cfg.batch_lanes = 0;
+  util::Rng rng_b(11);
+  const auto scalar = measure_rer(cfg, rng_b);
+  EXPECT_EQ(batched.decision_errors, scalar.decision_errors);
+  EXPECT_EQ(batched.blocked, scalar.blocked);
+  EXPECT_EQ(batched.disturbs, scalar.disturbs);
+  // Bitwise: the accumulation order is identical, not just the counts.
+  EXPECT_EQ(batched.mean_margin, scalar.mean_margin);
+  EXPECT_GT(batched.read_errors, 0u);
+}
+
+TEST(MeasureRer, BitIdenticalAcrossThreadCounts) {
+  auto cfg = rer_config();
+  cfg.runner.threads = 1;
+  util::Rng rng_a(12);
+  const auto serial = measure_rer(cfg, rng_a);
+  cfg.runner.threads = 4;
+  util::Rng rng_b(12);
+  const auto parallel = measure_rer(cfg, rng_b);
+  EXPECT_EQ(serial.read_errors, parallel.read_errors);
+  EXPECT_EQ(serial.disturbs, parallel.disturbs);
+  EXPECT_EQ(serial.mean_margin, parallel.mean_margin);
+}
+
+TEST(MeasureRer, MoreReadVoltageFewerDecisionErrors) {
+  auto cfg = rer_config();
+  util::Rng rng(13);
+  const auto starved = measure_rer(cfg, rng);
+  cfg.path.v_read = 0.2;
+  const auto healthy = measure_rer(cfg, rng);
+  EXPECT_GT(starved.rer, healthy.rer);
+  EXPECT_EQ(healthy.read_errors, 0u);
+  EXPECT_GT(starved.op.margin, 0.0);
+  EXPECT_LT(starved.op.margin, healthy.op.margin);
+}
+
+// --- measure_read_disturb ---------------------------------------------------
+
+ReadDisturbConfig disturb_config() {
+  ReadDisturbConfig cfg;
+  cfg.device.delta0 = 14.0;  // thermally active: measurable disturb rates
+  cfg.path = small_path(0.14);
+  cfg.path.t_read = 30e-9;
+  cfg.trials = 150;
+  cfg.hz_stray = dev::MtjDevice(cfg.device).intra_stray_field();
+  return cfg;
+}
+
+TEST(MeasureReadDisturb, BatchedMatchesScalarBitwise) {
+  // Odd trial count: remainder lane-blocks included. The batched kernel
+  // shares the scalar path's stochastic Heun step, so switch decisions AND
+  // switch times must agree bitwise, at any lane width.
+  auto cfg = disturb_config();
+  cfg.trials = 37;
+  cfg.batch_lanes = 0;
+  util::Rng rng_s(21);
+  const auto scalar = measure_read_disturb(cfg, rng_s);
+  for (const std::size_t lanes : {std::size_t{1}, std::size_t{8}}) {
+    cfg.batch_lanes = lanes;
+    util::Rng rng_b(21);
+    const auto batched = measure_read_disturb(cfg, rng_b);
+    EXPECT_EQ(batched.disturbed, scalar.disturbed) << lanes;
+    EXPECT_EQ(batched.mean_switch_time, scalar.mean_switch_time) << lanes;
+    EXPECT_EQ(batched.rate, scalar.rate) << lanes;
+  }
+  EXPECT_GT(scalar.disturbed, 0u);
+}
+
+TEST(MeasureReadDisturb, BitIdenticalAcrossThreadCounts) {
+  auto cfg = disturb_config();
+  cfg.trials = 64;
+  cfg.runner.threads = 1;
+  util::Rng rng_a(22);
+  const auto serial = measure_read_disturb(cfg, rng_a);
+  cfg.runner.threads = 4;
+  util::Rng rng_b(22);
+  const auto parallel = measure_read_disturb(cfg, rng_b);
+  EXPECT_EQ(serial.disturbed, parallel.disturbed);
+  EXPECT_EQ(serial.mean_switch_time, parallel.mean_switch_time);
+}
+
+TEST(MeasureReadDisturb, LongerStrobesDisturbMore) {
+  auto cfg = disturb_config();
+  cfg.trials = 150;
+  util::Rng rng(23);
+  cfg.duration = 5e-9;
+  const auto brief = measure_read_disturb(cfg, rng);
+  cfg.duration = 60e-9;
+  const auto lingering = measure_read_disturb(cfg, rng);
+  EXPECT_GT(lingering.rate, brief.rate);
+}
+
+TEST(MeasureReadDisturb, StoredParallelIsStabilized) {
+  auto cfg = disturb_config();
+  cfg.stored = MtjState::kParallel;
+  cfg.trials = 100;
+  util::Rng rng(24);
+  const auto r = measure_read_disturb(cfg, rng);
+  EXPECT_EQ(r.disturbed, 0u);
+  EXPECT_LT(r.analytic_probability, 1e-9);
+}
+
+TEST(MeasureReadDisturb, AnalyticModelTracksTheLlgEnsemble) {
+  // The satellite validation that promoted read_disturb_probability out of
+  // its stub: the analytic thermal-activation model with the *quadratic*
+  // STT-reduced barrier Delta (1 - I/Ic)^2 tracks the stochastic-LLG
+  // ensemble within a factor of 3 across the measurable range. The linear
+  // barrier this model shipped with originally under-predicts these points
+  // by 1-2 orders of magnitude and fails this bound.
+  auto cfg = disturb_config();
+  cfg.trials = 400;
+  for (const double v_read : {0.10, 0.12, 0.14}) {
+    cfg.path = small_path(v_read);
+    cfg.path.t_read = 30e-9;
+    util::Rng rng(25);
+    const auto r = measure_read_disturb(cfg, rng);
+    ASSERT_GT(r.disturbed, 5u) << v_read;
+    ASSERT_LT(r.disturbed, cfg.trials) << v_read;
+    EXPECT_GT(r.analytic_probability, r.rate / 3.0) << v_read;
+    EXPECT_LT(r.analytic_probability, r.rate * 3.0) << v_read;
+  }
+}
+
+// --- read_yield -------------------------------------------------------------
+
+TEST(ReadYield, DeterministicAndSpecMonotone) {
+  ReadYieldConfig cfg;
+  cfg.path = small_path(0.2, 32);
+  cfg.samples = 200;
+  cfg.spec.min_margin_sigma = 7.0;
+  util::Rng rng_a(31);
+  const auto a = read_yield(cfg, rng_a);
+  // Scalar reference and 4-thread runs reproduce it exactly.
+  cfg.batch_lanes = 0;
+  cfg.runner.threads = 4;
+  util::Rng rng_b(31);
+  const auto b = read_yield(cfg, rng_b);
+  EXPECT_EQ(a.pass_margin, b.pass_margin);
+  EXPECT_EQ(a.pass_disturb, b.pass_disturb);
+  EXPECT_EQ(a.pass_both, b.pass_both);
+  EXPECT_EQ(a.sampled, 200u);
+  // A tighter margin spec can only fail more devices.
+  cfg.spec.min_margin_sigma = 9.5;
+  util::Rng rng_c(31);
+  const auto tight = read_yield(cfg, rng_c);
+  EXPECT_LE(tight.pass_margin, a.pass_margin);
+  EXPECT_LT(tight.yield, 1.0);
+  EXPECT_GT(a.pass_disturb, 0u);
+}
+
+TEST(ReadYield, SpecValidation) {
+  ReadYieldSpec spec;
+  spec.min_margin_sigma = 0.0;
+  EXPECT_THROW(spec.validate(), util::ConfigError);
+  spec = ReadYieldSpec{};
+  spec.max_disturb = 1.0;
+  EXPECT_THROW(spec.validate(), util::ConfigError);
+}
+
+// --- march integration ------------------------------------------------------
+
+TEST(MarchReadPath, StarvedMarginYieldsTransientReadFaults) {
+  // Stable array + strong pulse + a starved sense margin: every fault is a
+  // transient read fault (the stored data stays correct throughout).
+  mem::ArrayConfig cfg;
+  cfg.device = dev::MtjParams::reference_device(35e-9);
+  cfg.pitch = 2.0 * 35e-9;
+  cfg.rows = cfg.cols = 5;
+  mem::MramArray array(cfg);
+
+  ReadPathConfig path;
+  path.bitline.rows = cfg.rows;
+  path.v_read = 0.02;  // deep starvation: lots of misreads
+  const ReadErrorModel model(cfg.device, path);
+  const auto hook = make_march_read_hook(model, cfg.temperature);
+
+  util::Rng rng(41);
+  const auto result = mem::run_march(array, mem::march_c_minus(),
+                                     mem::WritePulse{1.2, 100e-9}, rng, 0.0,
+                                     nullptr, hook);
+  EXPECT_GT(result.count(mem::FaultClass::kReadFault), 0u);
+  EXPECT_EQ(result.count(mem::FaultClass::kWriteFault), 0u);
+  EXPECT_EQ(result.count(mem::FaultClass::kRetentionFault), 0u);
+  EXPECT_EQ(result.failed_writes, 0u);
+  // The stored data survived the whole march: the final element verified
+  // every cell reads 0 and the faults were all sense-path transients.
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t c = 0; c < 5; ++c) {
+      EXPECT_EQ(array.read(r, c), 0);
+    }
+  }
+}
+
+TEST(MarchReadPath, ReadHammerDetectsDisturbFaults) {
+  // March C- masks AP->P read disturbs (each r1 is followed by a healing
+  // w0); back-to-back r1 reads catch them as read-disturb faults.
+  mem::ArrayConfig cfg;
+  cfg.device = dev::MtjParams::reference_device(35e-9);
+  cfg.device.delta0 = 16.0;
+  cfg.pitch = 2.0 * 35e-9;
+  cfg.rows = cfg.cols = 5;
+  mem::MramArray array(cfg);
+
+  ReadPathConfig path;
+  path.bitline.rows = cfg.rows;
+  path.v_read = 0.14;
+  path.t_read = 30e-9;
+  const ReadErrorModel model(cfg.device, path);
+  const auto hook = make_march_read_hook(model, cfg.temperature);
+
+  const std::vector<mem::MarchElement> hammer = {
+      {mem::MarchOrder::kAscending, {mem::MarchOp::kW1}},
+      {mem::MarchOrder::kAscending,
+       {mem::MarchOp::kR1, mem::MarchOp::kR1, mem::MarchOp::kR1}},
+  };
+  util::Rng rng(42);
+  const auto result = mem::run_march(array, hammer,
+                                     mem::WritePulse{1.2, 100e-9}, rng, 0.0,
+                                     nullptr, hook);
+  EXPECT_GT(result.count(mem::FaultClass::kReadDisturbFault), 0u);
+  EXPECT_EQ(result.count(mem::FaultClass::kWriteFault), 0u);
+}
+
+TEST(MarchReadPath, HookRejectsMismatchedColumnLength) {
+  mem::ArrayConfig cfg;
+  cfg.device = dev::MtjParams::reference_device(35e-9);
+  cfg.pitch = 2.0 * 35e-9;
+  cfg.rows = cfg.cols = 5;
+  mem::MramArray array(cfg);
+  ReadPathConfig path;  // default 64 rows != the 5-row array
+  const ReadErrorModel model(cfg.device, path);
+  const auto hook = make_march_read_hook(model);
+  util::Rng rng(43);
+  EXPECT_THROW(hook(array, 0, 0, rng), util::ContractViolation);
+}
+
+TEST(MarchReadPath, FaultClassNames) {
+  EXPECT_STREQ(mem::to_string(mem::FaultClass::kReadFault), "read");
+  EXPECT_STREQ(mem::to_string(mem::FaultClass::kReadDisturbFault),
+               "read-disturb");
+}
+
+}  // namespace
+}  // namespace mram::rdo

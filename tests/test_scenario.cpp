@@ -12,6 +12,7 @@
 
 #include "scenario/registry.h"
 #include "scenario/result_sink.h"
+#include "scenario/run_command.h"
 #include "scenario/sweep.h"
 #include "util/csv.h"
 #include "util/error.h"
@@ -67,6 +68,31 @@ TEST(ScenarioRegistry, RejectsDuplicatesAndInvalid) {
   Scenario runless;
   runless.info.name = "runless";
   EXPECT_THROW(registry.add(runless), util::ConfigError);
+}
+
+TEST(ScenarioRegistry, ReadoutScenariosAreRegistered) {
+  const auto& registry = ScenarioRegistry::global();
+  for (const char* name :
+       {"rer_vs_read_voltage", "rer_vs_tmr", "sense_margin_ir_drop",
+        "read_disturb_vs_pulse", "read_retention_word", "march_read_path"}) {
+    ASSERT_NE(registry.find(name), nullptr) << name;
+    EXPECT_EQ(registry.at(name).info.figure, "Readout") << name;
+  }
+}
+
+TEST(ScenarioRegistry, FiltersByFigureTag) {
+  const auto& registry = ScenarioRegistry::global();
+  // Case-insensitive substring: "readout", "Readout" and "READ" all match.
+  const auto lower = registry.names_by_figure("readout");
+  EXPECT_EQ(lower.size(), 6u);
+  EXPECT_EQ(registry.names_by_figure("Readout"), lower);
+  EXPECT_GE(registry.names_by_figure("READ").size(), lower.size());
+  for (const auto& name : lower) {
+    EXPECT_EQ(registry.at(name).info.figure, "Readout") << name;
+  }
+  // Unmatched tags select nothing; the empty tag selects everything.
+  EXPECT_TRUE(registry.names_by_figure("no_such_figure").empty());
+  EXPECT_EQ(registry.names_by_figure("").size(), registry.size());
 }
 
 // --- grid expansion ---------------------------------------------------------
@@ -256,8 +282,10 @@ std::string run_to_csv(const std::string& name, unsigned threads,
 
 TEST(ScenarioDeterminism, SeededRunsAreBitIdenticalAcrossThreadCounts) {
   // The acceptance contract: a seeded scenario emits byte-identical CSV on
-  // 1 thread and on 4. Covers the heaviest runner users.
-  for (const char* name : {"wer_pulse_width", "fig2b_intra_vs_ecd"}) {
+  // 1 thread and on 4. Covers the heaviest runner users, including the
+  // batched stochastic-LLG read-disturb path.
+  for (const char* name : {"wer_pulse_width", "fig2b_intra_vs_ecd",
+                           "rer_vs_read_voltage", "read_disturb_vs_pulse"}) {
     const std::string serial = run_to_csv(name, 1, 31337);
     const std::string parallel = run_to_csv(name, 4, 31337);
     EXPECT_EQ(serial, parallel) << name;
@@ -269,6 +297,102 @@ TEST(ScenarioDeterminism, DifferentSeedsChangeStochasticResults) {
   const std::string a = run_to_csv("wer_pulse_width", 2, 1);
   const std::string b = run_to_csv("wer_pulse_width", 2, 2);
   EXPECT_NE(a, b);
+}
+
+// --- run command (the CLI's run pipeline) ------------------------------------
+
+/// Lines of `text` that render a table row holding `cell` (the aligned-text
+/// sink pads cells, so match " cell |" inside a '|'-framed line).
+std::size_t table_rows_mentioning(const std::string& text,
+                                  const std::string& cell) {
+  std::size_t rows = 0;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    rows += !line.empty() && line.front() == '|' &&
+            line.find(" " + cell + " |") != std::string::npos;
+  }
+  return rows;
+}
+
+ScenarioRegistry tiny_registry() {
+  ScenarioRegistry registry;
+  auto make = [](const char* name) {
+    Scenario s;
+    s.info.name = name;
+    s.info.figure = "Test";
+    s.info.summary = "tiny";
+    s.run = [](ScenarioContext&) {
+      ResultSet out;
+      out.add("t", "tiny table", {"x"}).add_row({Cell(1.0, 1)});
+      return out;
+    };
+    return s;
+  };
+  registry.add(make("tiny_alpha"));
+  registry.add(make("tiny_beta"));
+  Scenario failing;
+  failing.info.name = "tiny_failing";
+  failing.info.figure = "Test";
+  failing.info.summary = "always throws";
+  failing.run = [](ScenarioContext&) -> ResultSet {
+    throw util::ConfigError("deliberate test failure");
+  };
+  registry.add(failing);
+  return registry;
+}
+
+TEST(RunCommand, SummaryTableHasOneRowPerScenario) {
+  // The stderr per-scenario timing table: parses as one row per scenario
+  // with its status, and only appears for multi-scenario runs.
+  const auto registry = tiny_registry();
+  RunCommandOptions opt;
+  opt.names = {"tiny_alpha", "tiny_beta"};
+  opt.format = "csv";
+  std::ostringstream out, err;
+  EXPECT_EQ(run_scenarios(registry, opt, out, err), 0);
+  const std::string log = err.str();
+  EXPECT_NE(log.find("run summary"), std::string::npos);
+  EXPECT_NE(log.find("scenario |"), std::string::npos);
+  EXPECT_NE(log.find("wall (s)"), std::string::npos);
+  EXPECT_EQ(table_rows_mentioning(log, "tiny_alpha"), 1u);
+  EXPECT_EQ(table_rows_mentioning(log, "tiny_beta"), 1u);
+  // Results (CSV with per-table comment separators) went to `out`,
+  // untouched by the summary.
+  EXPECT_NE(out.str().find("# tiny_alpha/t"), std::string::npos);
+  EXPECT_EQ(out.str().find("run summary"), std::string::npos);
+}
+
+TEST(RunCommand, SingleScenarioSkipsTheSummary) {
+  const auto registry = tiny_registry();
+  RunCommandOptions opt;
+  opt.names = {"tiny_alpha"};
+  opt.format = "csv";
+  std::ostringstream out, err;
+  EXPECT_EQ(run_scenarios(registry, opt, out, err), 0);
+  EXPECT_EQ(err.str().find("run summary"), std::string::npos);
+}
+
+TEST(RunCommand, FailuresSetTheExitCodeAndSummaryStatus) {
+  const auto registry = tiny_registry();
+  RunCommandOptions opt;
+  opt.names = {"tiny_alpha", "tiny_failing"};
+  opt.format = "csv";
+  std::ostringstream out, err;
+  EXPECT_EQ(run_scenarios(registry, opt, out, err), 1);
+  const std::string log = err.str();
+  EXPECT_NE(log.find("FAIL tiny_failing: deliberate test failure"),
+            std::string::npos);
+  EXPECT_EQ(table_rows_mentioning(log, "tiny_failing"), 1u);
+  EXPECT_NE(log.find("1 of 2 scenarios failed"), std::string::npos);
+}
+
+TEST(RunCommand, EmptySelectionIsAUsageError) {
+  const auto registry = tiny_registry();
+  RunCommandOptions opt;
+  std::ostringstream out, err;
+  EXPECT_EQ(run_scenarios(registry, opt, out, err), 2);
+  EXPECT_NE(err.str().find("no scenarios selected"), std::string::npos);
 }
 
 }  // namespace

@@ -2,28 +2,29 @@
 // every registered scenario -- the whole figure-reproduction evaluation as
 // a parallel, seed-reproducible, scriptable pipeline.
 //
-//   mram_scenarios list
-//   mram_scenarios describe <name>
+//   mram_scenarios list [--figure TAG]
+//   mram_scenarios describe <name> [<name>...] | --figure TAG
 //   mram_scenarios run <name> [<name>...] | --all
 //                  [--threads N] [--seed S] [--format table|csv|json]
 //                  [--out DIR] [--data DIR] [--trial-scale X]
 //
-// `run` executes each scenario on a shared MonteCarloRunner; for a fixed
-// --seed the emitted tables are bit-identical at any --threads. With
-// --out, results go to files (csv: one per table; json/table: one per
-// scenario) and a one-line status per scenario goes to stdout. The exit
-// code is non-zero when any requested scenario fails.
+// `--figure TAG` filters by the figure tag, case-insensitive substring
+// (e.g. `list --figure readout`, `describe --figure Memory`), keeping the
+// growing registry navigable. `run` executes each scenario on a shared
+// MonteCarloRunner (scn::run_scenarios); for a fixed --seed the emitted
+// tables are bit-identical at any --threads. With --out, results go to
+// files (csv: one per table; json/table: one per scenario) and a one-line
+// status per scenario goes to stdout. The exit code is non-zero when any
+// requested scenario fails.
 
-#include <chrono>
+#include <algorithm>
 #include <cstdint>
-#include <exception>
-#include <filesystem>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "scenario/registry.h"
-#include "scenario/result_sink.h"
+#include "scenario/run_command.h"
 #include "util/error.h"
 #include "util/table.h"
 
@@ -55,8 +56,8 @@ unsigned parse_threads(const std::string& s) {
 
 int usage(std::ostream& os, int code) {
   os << "usage:\n"
-        "  mram_scenarios list\n"
-        "  mram_scenarios describe <name>\n"
+        "  mram_scenarios list [--figure TAG]\n"
+        "  mram_scenarios describe <name> [<name>...] | --figure TAG\n"
         "  mram_scenarios run <name> [<name>...] | --all\n"
         "                 [--threads N] [--seed S]\n"
         "                 [--format table|csv|json] [--out DIR]\n"
@@ -64,111 +65,68 @@ int usage(std::ostream& os, int code) {
   return code;
 }
 
-int cmd_list() {
+/// Scenario names selected by explicit list and/or --figure tag, sorted
+/// and deduplicated (a scenario both matching the tag and named explicitly
+/// is selected once). An unknown figure tag (no match) is an error so
+/// typos do not silently select nothing.
+std::vector<std::string> select_names(const scn::ScenarioRegistry& registry,
+                                      const std::vector<std::string>& names,
+                                      const std::string& figure,
+                                      bool default_all) {
+  std::vector<std::string> selected = names;
+  if (!figure.empty()) {
+    const auto matched = registry.names_by_figure(figure);
+    if (matched.empty()) {
+      throw util::ConfigError("no scenario has a figure tag matching '" +
+                              figure + "' (see `mram_scenarios list`)");
+    }
+    selected.insert(selected.end(), matched.begin(), matched.end());
+  }
+  std::sort(selected.begin(), selected.end());
+  selected.erase(std::unique(selected.begin(), selected.end()),
+                 selected.end());
+  if (selected.empty() && default_all) return registry.names();
+  return selected;
+}
+
+int cmd_list(const std::string& figure) {
   const auto& registry = scn::ScenarioRegistry::global();
+  const auto names = select_names(registry, {}, figure, true);
   util::Table t({"name", "figure", "summary"});
-  for (const auto& name : registry.names()) {
+  for (const auto& name : names) {
     const auto& info = registry.at(name).info;
     t.add_row({info.name, info.figure, info.summary});
   }
-  t.print(std::cout, std::to_string(registry.size()) +
-                         " registered scenarios");
+  const std::string caption =
+      figure.empty()
+          ? std::to_string(registry.size()) + " registered scenarios"
+          : std::to_string(names.size()) + " of " +
+                std::to_string(registry.size()) +
+                " scenarios matching figure '" + figure + "'";
+  t.print(std::cout, caption);
   return 0;
 }
 
-int cmd_describe(const std::string& name) {
-  const auto& info = scn::ScenarioRegistry::global().at(name).info;
-  std::cout << info.name << " (" << info.figure << ")\n"
-            << info.summary << "\n\n"
-            << info.details << "\n";
-  if (!info.params.empty()) {
-    util::Table t({"parameter", "value", "description"});
-    for (const auto& p : info.params) {
-      t.add_row({p.name, p.value, p.description});
-    }
-    t.print(std::cout, "parameters");
-  }
-  return 0;
-}
-
-struct RunOptions {
-  std::vector<std::string> names;
-  bool all = false;
-  unsigned threads = 0;  // 0 = hardware concurrency
-  std::uint64_t seed = scn::ScenarioContext::kDefaultSeed;
-  std::string format = "table";
-  std::string out_dir;
-  std::string data_dir = "data";
-  double trial_scale = 1.0;
-};
-
-int cmd_run(const RunOptions& opt) {
+int cmd_describe(const std::vector<std::string>& names,
+                 const std::string& figure) {
   const auto& registry = scn::ScenarioRegistry::global();
-  std::vector<std::string> names =
-      opt.all ? registry.names() : opt.names;
-  if (names.empty()) {
-    std::cerr << "run: no scenarios selected (name them or pass --all)\n";
-    return 2;
-  }
-  for (const auto& name : names) registry.at(name);  // fail fast on typos
-
-  if (!opt.out_dir.empty()) {
-    std::filesystem::create_directories(opt.out_dir);
-  }
-  const auto sink = scn::make_sink(opt.format, std::cout, opt.out_dir);
-
-  eng::RunnerConfig runner_cfg;
-  runner_cfg.threads = opt.threads;
-  eng::MonteCarloRunner runner(runner_cfg);  // one pool for the whole run
-
-  int failures = 0;
-  double total_secs = 0.0;
-  util::Table summary({"scenario", "status", "tables", "wall (s)"});
-  for (const auto& name : names) {
-    const auto& scenario = registry.at(name);
-    const auto start = std::chrono::steady_clock::now();
-    auto elapsed = [&] {
-      return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                           start)
-          .count();
-    };
-    try {
-      scn::ScenarioContext ctx{runner};
-      ctx.seed = opt.seed;
-      ctx.data_dir = opt.data_dir;
-      ctx.trial_scale = opt.trial_scale;
-      const scn::ResultSet results = scenario.run(ctx);
-      const scn::RunMeta meta{opt.seed, runner.threads(), opt.trial_scale};
-      sink->write(scenario.info, meta, results);
-      const double secs = elapsed();
-      total_secs += secs;
-      summary.add_row({name, "ok", std::to_string(results.tables.size()),
-                       util::format_double(secs, 2)});
-      if (!opt.out_dir.empty()) {
-        std::cout << "ok   " << name << " (" << results.tables.size()
-                  << " tables, " << util::format_double(secs, 2) << " s)\n";
+  const auto selected = select_names(registry, names, figure, false);
+  if (selected.empty()) return usage(std::cerr, 2);
+  bool first = true;
+  for (const auto& name : selected) {
+    const auto& info = registry.at(name).info;
+    if (!first) std::cout << "\n";
+    first = false;
+    std::cout << info.name << " (" << info.figure << ")\n"
+              << info.summary << "\n\n"
+              << info.details << "\n";
+    if (!info.params.empty()) {
+      util::Table t({"parameter", "value", "description"});
+      for (const auto& p : info.params) {
+        t.add_row({p.name, p.value, p.description});
       }
-    } catch (const std::exception& e) {
-      ++failures;
-      const double secs = elapsed();
-      total_secs += secs;
-      summary.add_row({name, "FAIL", "-", util::format_double(secs, 2)});
-      std::cerr << "FAIL " << name << ": " << e.what() << "\n";
+      t.print(std::cout, "parameters");
     }
-  }
-  // Per-scenario wall-clock summary, always on stderr so it never corrupts
-  // piped csv/json output: scenario-level perf regressions show up here
-  // without rerunning the microbenches.
-  if (names.size() > 1) {
-    summary.print(std::cerr,
-                  "run summary (" + util::format_double(total_secs, 2) +
-                      " s total, " + std::to_string(runner.threads()) +
-                      " threads)");
-  }
-  if (failures > 0) {
-    std::cerr << failures << " of " << names.size()
-              << " scenarios failed\n";
-    return 1;
   }
   return 0;
 }
@@ -183,46 +141,72 @@ int main(int argc, char** argv) {
     if (command == "help" || command == "--help" || command == "-h") {
       return usage(std::cout, 0);
     }
-    if (command == "list") return cmd_list();
+
+    // Shared trailing-argument parsing: positional names plus options.
+    // Run-only options are remembered so list/describe can reject them
+    // instead of silently ignoring them.
+    std::vector<std::string> names;
+    std::string figure;
+    std::string run_only_option;
+    scn::RunCommandOptions opt;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      const std::string& a = args[i];
+      auto value = [&]() -> const std::string& {
+        if (++i >= args.size()) {
+          throw util::ConfigError("missing value after " + a);
+        }
+        return args[i];
+      };
+      if (a == "--figure") {
+        figure = value();
+        continue;
+      }
+      if (!a.empty() && a[0] == '-') run_only_option = a;
+      if (a == "--all") {
+        opt.all = true;
+      } else if (a == "--threads") {
+        opt.threads = parse_threads(value());
+      } else if (a == "--seed") {
+        opt.seed = parse_u64("--seed", value());
+      } else if (a == "--format") {
+        opt.format = value();
+      } else if (a == "--out") {
+        opt.out_dir = value();
+      } else if (a == "--data") {
+        opt.data_dir = value();
+      } else if (a == "--trial-scale") {
+        opt.trial_scale = std::stod(value());
+        if (!(opt.trial_scale > 0.0)) {
+          throw util::ConfigError("--trial-scale must be positive");
+        }
+      } else if (!a.empty() && a[0] == '-') {
+        std::cerr << "unknown option " << a << "\n";
+        return usage(std::cerr, 2);
+      } else {
+        names.push_back(a);
+      }
+    }
+    if (command != "run" && !run_only_option.empty()) {
+      std::cerr << run_only_option << " is only valid for `run`\n";
+      return usage(std::cerr, 2);
+    }
+
+    if (command == "list") {
+      if (!names.empty()) return usage(std::cerr, 2);
+      return cmd_list(figure);
+    }
     if (command == "describe") {
-      if (args.size() != 2) return usage(std::cerr, 2);
-      return cmd_describe(args[1]);
+      if (names.empty() && figure.empty()) return usage(std::cerr, 2);
+      return cmd_describe(names, figure);
     }
     if (command == "run") {
-      RunOptions opt;
-      for (std::size_t i = 1; i < args.size(); ++i) {
-        const std::string& a = args[i];
-        auto value = [&]() -> const std::string& {
-          if (++i >= args.size()) {
-            throw util::ConfigError("missing value after " + a);
-          }
-          return args[i];
-        };
-        if (a == "--all") {
-          opt.all = true;
-        } else if (a == "--threads") {
-          opt.threads = parse_threads(value());
-        } else if (a == "--seed") {
-          opt.seed = parse_u64("--seed", value());
-        } else if (a == "--format") {
-          opt.format = value();
-        } else if (a == "--out") {
-          opt.out_dir = value();
-        } else if (a == "--data") {
-          opt.data_dir = value();
-        } else if (a == "--trial-scale") {
-          opt.trial_scale = std::stod(value());
-          if (!(opt.trial_scale > 0.0)) {
-            throw util::ConfigError("--trial-scale must be positive");
-          }
-        } else if (!a.empty() && a[0] == '-') {
-          std::cerr << "unknown option " << a << "\n";
-          return usage(std::cerr, 2);
-        } else {
-          opt.names.push_back(a);
-        }
+      if (opt.all && (!names.empty() || !figure.empty())) {
+        throw util::ConfigError(
+            "--all cannot be combined with scenario names or --figure");
       }
-      return cmd_run(opt);
+      const auto& registry = scn::ScenarioRegistry::global();
+      opt.names = select_names(registry, names, figure, false);
+      return scn::run_scenarios(registry, opt, std::cout, std::cerr);
     }
     std::cerr << "unknown command '" << command << "'\n";
     return usage(std::cerr, 2);
