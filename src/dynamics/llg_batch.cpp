@@ -72,21 +72,30 @@ constexpr std::size_t kNoiseBlockSteps = 64;
 // of steps executed. A free function with restrict-qualified *parameters*:
 // GCC only honors restrict on parameters, and without it the possible
 // aliasing between the arrays blocks vectorization.
-template <bool kHasTorque>
+template <bool kHasTorque, bool kHasTilt>
 MRAM_ALWAYS_INLINE std::size_t step_lanes_body(
     std::size_t n, std::size_t steps, std::size_t h_stride,
     double* MRAM_RESTRICT mx, double* MRAM_RESTRICT my,
     double* MRAM_RESTRICT mz, const double* MRAM_RESTRICT hxm,
     const double* MRAM_RESTRICT hym, const double* MRAM_RESTRICT hzm,
     const double* MRAM_RESTRICT sign, double* MRAM_RESTRICT crossed,
-    const detail::HeunStepCoeffs& coeffs, double mz_stop) {
+    double* MRAM_RESTRICT logw, const detail::HeunStepCoeffs& coeffs,
+    const detail::TiltWeightCoeffs& wcoeffs, double mz_stop) {
   const detail::HeunStepCoeffs c = coeffs;  // loop-invariant locals
+  const detail::TiltWeightCoeffs w = wcoeffs;
   for (std::size_t s = 0; s < steps; ++s) {
     const double* MRAM_RESTRICT hx = hxm + s * h_stride;
     const double* MRAM_RESTRICT hy = hym + s * h_stride;
     const double* MRAM_RESTRICT hz = hzm + s * h_stride;
     double any = 0.0;
     for (std::size_t a = 0; a < n; ++a) {
+      if constexpr (kHasTilt) {
+        // Same expression, same assembled-field inputs, same step order as
+        // the scalar loop's accumulation -- bit-identical log weights. The
+        // crossing step's weight is included, matching the scalar loop
+        // (which accumulates before stepping and checking).
+        logw[a] += detail::tilt_log_weight_step(w, hx[a], hy[a], hz[a]);
+      }
       detail::stochastic_heun_step<kHasTorque>(c, hx[a], hy[a], hz[a], mx[a],
                                                my[a], mz[a]);
       const double flag = (sign[a] * (mz[a] - mz_stop) < 0.0) ? 1.0 : 0.0;
@@ -98,34 +107,38 @@ MRAM_ALWAYS_INLINE std::size_t step_lanes_body(
   return steps;
 }
 
-template <bool kHasTorque>
+template <bool kHasTorque, bool kHasTilt>
 MRAM_NOINLINE MRAM_SIMD_CLONES std::size_t step_lanes_block(
     std::size_t n, std::size_t steps, std::size_t h_stride,
     double* MRAM_RESTRICT mx, double* MRAM_RESTRICT my,
     double* MRAM_RESTRICT mz, const double* MRAM_RESTRICT hxm,
     const double* MRAM_RESTRICT hym, const double* MRAM_RESTRICT hzm,
     const double* MRAM_RESTRICT sign, double* MRAM_RESTRICT crossed,
-    const detail::HeunStepCoeffs& coeffs, double mz_stop) {
-  return step_lanes_body<kHasTorque>(n, steps, h_stride, mx, my, mz, hxm,
-                                     hym, hzm, sign, crossed, coeffs,
-                                     mz_stop);
+    double* MRAM_RESTRICT logw, const detail::HeunStepCoeffs& coeffs,
+    const detail::TiltWeightCoeffs& wcoeffs, double mz_stop) {
+  return step_lanes_body<kHasTorque, kHasTilt>(n, steps, h_stride, mx, my,
+                                               mz, hxm, hym, hzm, sign,
+                                               crossed, logw, coeffs,
+                                               wcoeffs, mz_stop);
 }
 
 // Fixed-width specialization for full kDefaultLanes blocks -- the common
 // case by far. The compile-time lane count removes the vector epilogue and
 // all dynamic-bound loop overhead from the hot step loop.
-template <bool kHasTorque>
+template <bool kHasTorque, bool kHasTilt>
 MRAM_NOINLINE MRAM_SIMD_CLONES std::size_t step_lanes_block_w8(
     std::size_t steps, std::size_t h_stride, double* MRAM_RESTRICT mx,
     double* MRAM_RESTRICT my, double* MRAM_RESTRICT mz,
     const double* MRAM_RESTRICT hxm, const double* MRAM_RESTRICT hym,
     const double* MRAM_RESTRICT hzm, const double* MRAM_RESTRICT sign,
-    double* MRAM_RESTRICT crossed, const detail::HeunStepCoeffs& coeffs,
-    double mz_stop) {
+    double* MRAM_RESTRICT crossed, double* MRAM_RESTRICT logw,
+    const detail::HeunStepCoeffs& coeffs,
+    const detail::TiltWeightCoeffs& wcoeffs, double mz_stop) {
   static_assert(BatchMacrospinSim::kDefaultLanes == 8);
-  return step_lanes_body<kHasTorque>(8, steps, h_stride, mx, my, mz, hxm,
-                                     hym, hzm, sign, crossed, coeffs,
-                                     mz_stop);
+  return step_lanes_body<kHasTorque, kHasTilt>(8, steps, h_stride, mx, my,
+                                               mz, hxm, hym, hzm, sign,
+                                               crossed, logw, coeffs,
+                                               wcoeffs, mz_stop);
 }
 
 }  // namespace
@@ -133,8 +146,19 @@ MRAM_NOINLINE MRAM_SIMD_CLONES std::size_t step_lanes_block_w8(
 void BatchMacrospinSim::run_until_switch(std::size_t lanes, const Vec3* m0,
                                          util::Rng* rngs, double duration,
                                          double dt, SwitchResult* out,
-                                         double mz_stop) {
-  MRAM_EXPECTS(dt > 0.0 && duration > 0.0, "invalid integration window");
+                                         double mz_stop, const Vec3& tilt) {
+  MRAM_EXPECTS(lanes > 0, "need at least one lane");
+  durations_.assign(lanes, duration);
+  run_until_switch(lanes, m0, rngs, durations_.data(), dt, out, mz_stop,
+                   tilt);
+}
+
+void BatchMacrospinSim::run_until_switch(std::size_t lanes, const Vec3* m0,
+                                         util::Rng* rngs,
+                                         const double* durations, double dt,
+                                         SwitchResult* out, double mz_stop,
+                                         const Vec3& tilt) {
+  MRAM_EXPECTS(dt > 0.0, "invalid integration step");
   MRAM_EXPECTS(lanes > 0, "need at least one lane");
 
   mx_.resize(lanes);
@@ -145,11 +169,14 @@ void BatchMacrospinSim::run_until_switch(std::size_t lanes, const Vec3* m0,
   h0z_.resize(lanes);
   sign_.resize(lanes);
   crossed_.resize(lanes);
+  logw_.resize(lanes);
+  budget_.resize(lanes);
   lane_of_.resize(lanes);
 
   for (std::size_t l = 0; l < lanes; ++l) {
     MRAM_EXPECTS(std::abs(num::norm(m0[l]) - 1.0) < 1e-6,
                  "m0 must be a unit vector");
+    MRAM_EXPECTS(durations[l] > 0.0, "invalid integration window");
     mx_[l] = m0[l].x;
     my_[l] = m0[l].y;
     mz_[l] = m0[l].z;
@@ -157,14 +184,26 @@ void BatchMacrospinSim::run_until_switch(std::size_t lanes, const Vec3* m0,
     h0y_[l] = params_.h_applied.y;
     h0z_[l] = params_.h_applied.z;
     sign_[l] = (m0[l].z >= mz_stop) ? 1.0 : -1.0;
+    crossed_[l] = 0.0;
+    logw_[l] = 0.0;
     lane_of_[l] = l;
-    out[l] = {false, duration};
+    // Step budget of lane l: the number of iterations the scalar while-loop
+    // executes for durations[l], replayed with the scalar path's exact
+    // floating-point time accumulation so both paths agree on every window.
+    std::size_t n = 0;
+    for (double tt = 0.0; tt < durations[l]; ++n) tt += dt;
+    budget_[l] = n;
+    out[l] = {false, durations[l], 0.0, m0[l]};
   }
 
   const double sigma = thermal_field_sigma(params_, dt);
   const bool has_torque = (rhs_.aj != 0.0);
+  const bool has_tilt =
+      sigma > 0.0 && (tilt.x != 0.0 || tilt.y != 0.0 || tilt.z != 0.0);
   const Vec3 ha = params_.h_applied;
   const auto coeffs = detail::HeunStepCoeffs::from(rhs_, dt);
+  const auto wcoeffs = detail::TiltWeightCoeffs::from(tilt, ha, sigma);
+  const double tilt_arr[3] = {tilt.x, tilt.y, tilt.z};
   const std::size_t cap = lanes;  // column count of the field matrices
 
   // Thermal history is prefetched per lane in blocks of kNoiseBlockSteps
@@ -175,7 +214,8 @@ void BatchMacrospinSim::run_until_switch(std::size_t lanes, const Vec3* m0,
   // exact field transform h = h_applied + sigma * n lane-parallel as it
   // goes. normal_fill's stream consistency (one big fill == many 3-value
   // fills) keeps the consumed values identical to the scalar path's
-  // per-step draws.
+  // per-step draws. Under a tilt the same raw stream gets the scalar
+  // path's periodic mean shift applied post-draw (normal_fill_*_tilted).
   if (sigma > 0.0) {
     scratch_.resize(2 * 3 * kNoiseBlockSteps);
     hxm_.resize(kNoiseBlockSteps * cap);
@@ -185,8 +225,9 @@ void BatchMacrospinSim::run_until_switch(std::size_t lanes, const Vec3* m0,
 
   std::size_t n_active = lanes;
   double t = 0.0;
+  std::size_t steps_done = 0;  // shared lockstep clock, starts at step 0
   std::size_t phase = 0;  // step index within the current noise block
-  while (t < duration && n_active > 0) {
+  while (n_active > 0) {
     std::size_t steps_avail = kNoiseBlockSteps;
     const double* hxm = h0x_.data();
     const double* hym = h0y_.data();
@@ -194,11 +235,6 @@ void BatchMacrospinSim::run_until_switch(std::size_t lanes, const Vec3* m0,
     std::size_t h_stride = 0;
     if (sigma > 0.0) {
       if (phase == 0) {
-        // The applied-plus-noise transform is the exact expression of the
-        // scalar loop's field assembly, applied at prefetch time. Lanes
-        // refill two at a time: normal_fill_pair interleaves two
-        // independent xoshiro chains, which nearly doubles the fill rate
-        // of this (otherwise serial-chain-bound) pass.
         constexpr std::size_t kPerLane = 3 * kNoiseBlockSteps;
         const auto transform_into = [&](std::size_t slot, const double* raw) {
           for (std::size_t s = 0; s < kNoiseBlockSteps; ++s) {
@@ -209,14 +245,26 @@ void BatchMacrospinSim::run_until_switch(std::size_t lanes, const Vec3* m0,
         };
         std::size_t a = 0;
         for (; a + 1 < n_active; a += 2) {
-          util::Rng::normal_fill_pair(rngs[lane_of_[a]],
-                                      rngs[lane_of_[a + 1]], scratch_.data(),
-                                      scratch_.data() + kPerLane, kPerLane);
+          if (has_tilt) {
+            util::Rng::normal_fill_pair_tilted(
+                rngs[lane_of_[a]], rngs[lane_of_[a + 1]], scratch_.data(),
+                scratch_.data() + kPerLane, kPerLane, tilt_arr, 3);
+          } else {
+            util::Rng::normal_fill_pair(rngs[lane_of_[a]],
+                                        rngs[lane_of_[a + 1]],
+                                        scratch_.data(),
+                                        scratch_.data() + kPerLane, kPerLane);
+          }
           transform_into(a, scratch_.data());
           transform_into(a + 1, scratch_.data() + kPerLane);
         }
         if (a < n_active) {
-          rngs[lane_of_[a]].normal_fill(scratch_.data(), kPerLane);
+          if (has_tilt) {
+            rngs[lane_of_[a]].normal_fill_tilted(scratch_.data(), kPerLane,
+                                                 tilt_arr, 3);
+          } else {
+            rngs[lane_of_[a]].normal_fill(scratch_.data(), kPerLane);
+          }
           transform_into(a, scratch_.data());
         }
       }
@@ -227,44 +275,60 @@ void BatchMacrospinSim::run_until_switch(std::size_t lanes, const Vec3* m0,
       h_stride = cap;
     }
 
-    // Number of steps the scalar while-loop would still run, replaying its
-    // exact floating-point accumulation of t.
-    std::size_t remaining = 0;
-    for (double tt = t; tt < duration && remaining < steps_avail;
-         ++remaining) {
-      tt += dt;
+    // Steps this kernel call may run: capped by the noise block and by the
+    // smallest remaining per-lane budget, so no lane ever oversteps its own
+    // window. Active lanes always have budget left (exhausted lanes retire
+    // below), so min_left >= 1.
+    std::size_t min_left = budget_[0] - steps_done;
+    for (std::size_t a = 1; a < n_active; ++a) {
+      min_left = std::min(min_left, budget_[a] - steps_done);
     }
+    const std::size_t remaining = std::min(steps_avail, min_left);
 
-    const auto kernel = [&](auto torque) -> std::size_t {
+    const auto kernel = [&](auto torque, auto tilted) -> std::size_t {
       constexpr bool kT = decltype(torque)::value;
+      constexpr bool kW = decltype(tilted)::value;
       if (n_active == kDefaultLanes) {
-        return step_lanes_block_w8<kT>(remaining, h_stride, mx_.data(),
-                                       my_.data(), mz_.data(), hxm, hym, hzm,
-                                       sign_.data(), crossed_.data(), coeffs,
-                                       mz_stop);
+        return step_lanes_block_w8<kT, kW>(
+            remaining, h_stride, mx_.data(), my_.data(), mz_.data(), hxm,
+            hym, hzm, sign_.data(), crossed_.data(), logw_.data(), coeffs,
+            wcoeffs, mz_stop);
       }
-      return step_lanes_block<kT>(n_active, remaining, h_stride, mx_.data(),
-                                  my_.data(), mz_.data(), hxm, hym, hzm,
-                                  sign_.data(), crossed_.data(), coeffs,
-                                  mz_stop);
+      return step_lanes_block<kT, kW>(n_active, remaining, h_stride,
+                                      mx_.data(), my_.data(), mz_.data(),
+                                      hxm, hym, hzm, sign_.data(),
+                                      crossed_.data(), logw_.data(), coeffs,
+                                      wcoeffs, mz_stop);
     };
-    const std::size_t done = has_torque ? kernel(std::true_type{})
-                                        : kernel(std::false_type{});
+    const auto dispatch = [&](auto torque) -> std::size_t {
+      return has_tilt ? kernel(torque, std::true_type{})
+                      : kernel(torque, std::false_type{});
+    };
+    const std::size_t done = has_torque ? dispatch(std::true_type{})
+                                        : dispatch(std::false_type{});
     for (std::size_t s = 0; s < done; ++s) t += dt;
+    steps_done += done;
     if (sigma > 0.0) phase = (phase + done) % kNoiseBlockSteps;
 
-    bool any_crossed = false;
+    bool any_finished = false;
     for (std::size_t a = 0; a < n_active; ++a) {
-      any_crossed |= (crossed_[a] != 0.0);
+      any_finished |= (crossed_[a] != 0.0) || (steps_done >= budget_[a]);
     }
-    if (!any_crossed) continue;
+    if (!any_finished) continue;
     // Compact finished lanes out of the active set (order-preserving, so
     // slot order stays the trial-index order within the block), dragging
-    // the remaining rows of the field matrices along.
+    // the remaining rows of the field matrices along. A crossing takes
+    // precedence over budget exhaustion, exactly like the scalar loop's
+    // final-step check.
     std::size_t w = 0;
     for (std::size_t a = 0; a < n_active; ++a) {
+      const std::size_t l = lane_of_[a];
       if (crossed_[a] != 0.0) {
-        out[lane_of_[a]] = {true, t};
+        out[l] = {true, t, logw_[a], {mx_[a], my_[a], mz_[a]}};
+        continue;
+      }
+      if (steps_done >= budget_[a]) {
+        out[l] = {false, durations[l], logw_[a], {mx_[a], my_[a], mz_[a]}};
         continue;
       }
       if (w != a) {
@@ -272,6 +336,8 @@ void BatchMacrospinSim::run_until_switch(std::size_t lanes, const Vec3* m0,
         my_[w] = my_[a];
         mz_[w] = mz_[a];
         sign_[w] = sign_[a];
+        logw_[w] = logw_[a];
+        budget_[w] = budget_[a];
         lane_of_[w] = lane_of_[a];
         if (sigma > 0.0 && phase != 0) {
           for (std::size_t s = phase; s < kNoiseBlockSteps; ++s) {

@@ -47,7 +47,8 @@ class BatchMacrospinSim {
   /// Advances `lanes` independent stochastic trials in lockstep. Lane l
   /// starts at m0[l] (unit vectors), draws its thermal field from rngs[l],
   /// and writes its result to out[l]. Results per lane are exactly
-  /// MacrospinSim::run_until_switch(m0[l], duration, dt, rngs[l], mz_stop).
+  /// MacrospinSim::run_until_switch(m0[l], duration, dt, rngs[l], mz_stop,
+  /// tilt) -- switched flag, crossing time, log_weight and m_end included.
   /// The thermal history is prefetched from each lane's rng in blocks, so
   /// the kernel may consume *more* values from rngs[l] than the scalar path
   /// would (the values actually used are the same ones, in the same order);
@@ -55,7 +56,22 @@ class BatchMacrospinSim {
   /// call and expect scalar-path agreement.
   void run_until_switch(std::size_t lanes, const num::Vec3* m0,
                         util::Rng* rngs, double duration, double dt,
-                        SwitchResult* out, double mz_stop = 0.0);
+                        SwitchResult* out, double mz_stop = 0.0,
+                        const num::Vec3& tilt = {});
+
+  /// Per-lane-durations variant for the multilevel-splitting driver, whose
+  /// continuation trajectories carry different remaining windows. Lane l
+  /// integrates for durations[l] seconds (each > 0); every lane still runs
+  /// lockstep from step 0 on the shared clock (the step budget of lane l is
+  /// the number of iterations the scalar while-loop would execute for
+  /// durations[l], replayed with the scalar path's exact floating-point
+  /// time accumulation), and a lane whose budget is exhausted retires with
+  /// {switched=false, time=durations[l]}. A lane that crosses on its final
+  /// budgeted step reports switched, exactly like the scalar loop.
+  void run_until_switch(std::size_t lanes, const num::Vec3* m0,
+                        util::Rng* rngs, const double* durations, double dt,
+                        SwitchResult* out, double mz_stop = 0.0,
+                        const num::Vec3& tilt = {});
 
  private:
   LlgParams params_;
@@ -68,8 +84,11 @@ class BatchMacrospinSim {
   std::vector<double> h0x_, h0y_, h0z_;  ///< constant field row (sigma == 0)
   std::vector<double> sign_;           ///< per-lane start_sign
   std::vector<double> crossed_;        ///< per-lane crossing flag (0/1)
+  std::vector<double> logw_;           ///< per-lane accumulated log(dP/dQ)
+  std::vector<std::size_t> budget_;    ///< per-lane total step budget
   std::vector<std::size_t> lane_of_;   ///< active slot -> caller lane
   std::vector<double> scratch_;        ///< one lane's raw prefetch block
+  std::vector<double> durations_;      ///< broadcast buffer (uniform window)
   std::vector<double> hxm_, hym_, hzm_;  ///< raw-noise matrices [step][slot]
                                          ///< of the current prefetch block
 };

@@ -66,8 +66,16 @@ class MonteCarloRunner {
   /// stochastic-LLG trials) still fan out across the pool.
   std::size_t effective_chunk(std::size_t trials) const {
     const std::size_t target = (trials + kTargetChunks - 1) / kTargetChunks;
-    return std::max<std::size_t>(std::min(config_.chunk_size, target), 1);
+    const std::size_t chunk =
+        std::max<std::size_t>(std::min(config_.chunk_size, target), 1);
+    MRAM_ENSURES(chunk > 0, "effective chunk must be positive");
+    return chunk;
   }
+
+  /// Upper bound on run_batched's lane_width: lane blocks live in a
+  /// fixed-size stack buffer of per-trial streams. 64 matches the widest
+  /// consumer (the read-disturb batch path caps itself at 64 lanes).
+  static constexpr std::size_t kMaxLaneWidth = 64;
 
   template <class Partial, class MakeContext, class TrialFn>
   Partial run(std::size_t trials, std::uint64_t seed,
@@ -124,6 +132,8 @@ class MonteCarloRunner {
                       BatchFn&& batch) {
     MRAM_EXPECTS(trials > 0, "need at least one trial");
     MRAM_EXPECTS(lane_width > 0, "lane width must be positive");
+    MRAM_EXPECTS(lane_width <= kMaxLaneWidth,
+                 "lane width exceeds engine maximum (64)");
     const std::size_t chunk = effective_chunk(trials);
     const std::size_t n_chunks = (trials + chunk - 1) / chunk;
     std::vector<Partial> partials(n_chunks);
@@ -132,15 +142,15 @@ class MonteCarloRunner {
       Partial acc;
       const std::size_t lo = ci * chunk;
       const std::size_t hi = std::min(lo + chunk, trials);
-      std::vector<util::Rng> rngs;
-      rngs.reserve(std::min(lane_width, hi - lo));
+      // Lane streams live in a fixed stack buffer, assigned in place per
+      // block -- no per-block heap churn in the hot scheduling loop.
+      util::Rng rngs[kMaxLaneWidth];
       for (std::size_t base = lo; base < hi; base += lane_width) {
         const std::size_t lanes = std::min(lane_width, hi - base);
-        rngs.clear();
         for (std::size_t l = 0; l < lanes; ++l) {
-          rngs.push_back(util::Rng::stream(seed, base + l));
+          rngs[l] = util::Rng::stream(seed, base + l);
         }
-        batch(context, rngs.data(), base, lanes, acc);
+        batch(context, rngs, base, lanes, acc);
       }
       partials[ci] = std::move(acc);
     });

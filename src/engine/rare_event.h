@@ -1,0 +1,225 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "engine/monte_carlo.h"
+#include "util/stats.h"
+
+// Rare-event acceleration on top of MonteCarloRunner. Production MRAM error
+// rates sit at 1e-12..1e-18 where brute-force sampling is hopeless (1e14+
+// trials for a single hit), so the deep-rate paths estimate through variance
+// reduction instead:
+//
+//   * importance sampling -- trials are drawn under an exponentially tilted
+//     (mean-shifted) noise measure that makes failures common, and every
+//     trial carries the likelihood ratio dP/dQ of its realized draws; the
+//     weighted accumulator util::WeightedStats turns indicator * weight back
+//     into an unbiased estimate of the true probability with a computable
+//     standard error and effective sample size;
+//
+//   * multilevel splitting (subset simulation) -- the failure event is
+//     factored into a chain of conditional events ("reach level k+1 given
+//     level k was reached"), each common enough to estimate directly; the
+//     product of the per-level conditionals estimates the rare probability.
+//
+// Determinism contract: both drivers compose exclusively out of
+// Rng::stream-derived per-trial streams scheduled through MonteCarloRunner's
+// chunk-ordered reduction, plus serial between-round / between-level logic
+// whose inputs are the (already thread-count-independent) merged results.
+// Every estimate is therefore bit-identical across --threads, like the
+// brute-force paths.
+
+namespace mram::eng {
+
+enum class RareEventMethod {
+  kBruteForce,          ///< plain Monte Carlo (the default; exact legacy path)
+  kImportanceSampling,  ///< tilted draws + likelihood-ratio weights
+  kSplitting,           ///< multilevel splitting / subset simulation
+};
+
+/// Tuning knobs for the rare-event drivers. The default method is brute
+/// force, so wiring this struct into a workload config changes nothing
+/// until a caller opts in.
+struct RareEventConfig {
+  RareEventMethod method = RareEventMethod::kBruteForce;
+
+  /// Importance-sampling tilt strength in standard-deviation units of the
+  /// underlying noise. 0 = auto-tune (workloads place the tilt at their
+  /// analytic most-likely failure point; LLG workloads default to a unit
+  /// tilt along the switching direction).
+  double tilt = 0.0;
+
+  /// Explicit splitting-level schedule (workload-specific coordinate:
+  /// latent-score thresholds for analytic paths, |mz| thresholds for LLG
+  /// read disturb). Empty = auto schedule from level_p0.
+  std::vector<double> levels;
+
+  /// Target conditional probability per auto-scheduled splitting level.
+  double level_p0 = 0.25;
+
+  /// MCMC refresh moves per trial in subset-simulation levels.
+  std::size_t mcmc_steps = 8;
+
+  /// Preconditioned-Crank-Nicolson correlation of MCMC proposals.
+  double mcmc_rho = 0.8;
+
+  /// Hard cap on splitting levels (auto schedule bails beyond this).
+  std::size_t max_levels = 24;
+
+  /// Importance sampling stops adding rounds once the estimator relative
+  /// error falls below this.
+  double target_rel_error = 0.1;
+
+  /// Hard cap on importance-sampling rounds (each of the workload's trial
+  /// count), so a badly placed tilt cannot loop forever.
+  std::size_t max_rounds = 64;
+
+  void validate() const {
+    if (level_p0 <= 0.0 || level_p0 >= 1.0) {
+      throw util::ConfigError("splitting level_p0 must be in (0,1)");
+    }
+    if (mcmc_rho <= 0.0 || mcmc_rho >= 1.0) {
+      throw util::ConfigError("mcmc_rho must be in (0,1)");
+    }
+    if (mcmc_steps == 0) throw util::ConfigError("mcmc_steps must be >= 1");
+    if (max_levels == 0) throw util::ConfigError("max_levels must be >= 1");
+    if (max_rounds == 0) throw util::ConfigError("max_rounds must be >= 1");
+    if (target_rel_error <= 0.0) {
+      throw util::ConfigError("target_rel_error must be positive");
+    }
+  }
+};
+
+/// What a rare-event (or brute-force) estimation run reports alongside the
+/// raw workload result: the probability, its estimator quality, and the
+/// work it cost.
+struct RareEventEstimate {
+  RareEventMethod method = RareEventMethod::kBruteForce;
+  double probability = 0.0;
+  /// Estimator relative standard error; +inf when nothing was observed.
+  double rel_error = std::numeric_limits<double>::infinity();
+  /// Effective sample size: Kish ESS of the hit weights (IS), the hit
+  /// count (brute force / final splitting level).
+  double ess = 0.0;
+  /// Brute-force-equivalent trial count: the number of plain Monte Carlo
+  /// trials that would achieve the same relative error, (1-p)/(p*re^2).
+  /// Equals the actual trial count for brute-force runs.
+  double effective_trials = 0.0;
+  /// Trials (or trajectory/score evaluations) actually simulated.
+  double simulated_trials = 0.0;
+  /// ~95% confidence interval on probability.
+  util::Interval confidence{};
+  /// Per-level conditional probabilities (splitting only).
+  std::vector<double> level_probabilities;
+};
+
+/// Deterministic seed derivation for rounds/levels: collisions between the
+/// per-trial streams of different tags are as unlikely as any two stream
+/// seeds colliding.
+inline std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t tag) {
+  return util::Rng::stream(seed, tag)();
+}
+
+/// Brute-force trials needed to match relative error `rel_error` at
+/// probability p -- the common "effective trials" currency all three
+/// methods report in.
+inline double brute_equivalent_trials(double probability, double rel_error,
+                                      double fallback) {
+  if (probability <= 0.0 || probability >= 1.0 || rel_error <= 0.0 ||
+      !std::isfinite(rel_error)) {
+    return fallback;
+  }
+  return (1.0 - probability) / (probability * rel_error * rel_error);
+}
+
+/// Packages a plain binomial result (successes out of trials) in the common
+/// estimate format, so brute-force runs report the same quality columns as
+/// the accelerated ones.
+RareEventEstimate brute_force_estimate(std::size_t successes,
+                                       std::size_t trials);
+
+/// Packages a merged weighted accumulator as an importance-sampling
+/// estimate (95% normal CI on the weighted mean, clamped at 0).
+RareEventEstimate importance_estimate(const util::WeightedStats& ws);
+
+/// Importance sampling with deterministic relative-error stopping: runs
+/// rounds of `batch` trials through the runner (round r seeds from
+/// derive_seed(seed, r)), merging round accumulators in round order, until
+/// the estimator relative error reaches cfg.target_rel_error or
+/// cfg.max_rounds rounds ran. The stopping decision consumes only merged
+/// (thread-count-independent) state, so the round count -- and therefore
+/// the result -- is bit-identical across --threads.
+/// TrialFn: (util::Rng&, std::size_t trial_index, util::WeightedStats&).
+template <class TrialFn>
+RareEventEstimate importance_rounds(MonteCarloRunner& runner,
+                                    std::size_t batch, std::uint64_t seed,
+                                    const RareEventConfig& cfg,
+                                    TrialFn&& trial) {
+  cfg.validate();
+  MRAM_EXPECTS(batch > 0, "importance sampling needs a positive batch size");
+  util::WeightedStats total;
+  std::size_t rounds = 0;
+  for (std::size_t r = 0; r < cfg.max_rounds; ++r) {
+    auto ws = runner.run<util::WeightedStats>(batch, derive_seed(seed, r),
+                                              trial);
+    total.merge(ws);
+    ++rounds;
+    if (total.rel_error() <= cfg.target_rel_error) break;
+  }
+  auto est = importance_estimate(total);
+  est.simulated_trials = static_cast<double>(rounds * batch);
+  est.effective_trials = brute_equivalent_trials(
+      est.probability, est.rel_error, est.simulated_trials);
+  return est;
+}
+
+/// Batched-shape variant of importance_rounds for workloads whose trials
+/// run through a SoA kernel. BatchFn: (Ctx&, util::Rng* rngs,
+/// std::size_t first_trial, std::size_t lanes, util::WeightedStats&).
+template <class MakeContext, class BatchFn>
+RareEventEstimate importance_rounds_batched(MonteCarloRunner& runner,
+                                            std::size_t batch,
+                                            std::size_t lane_width,
+                                            std::uint64_t seed,
+                                            const RareEventConfig& cfg,
+                                            MakeContext&& make_context,
+                                            BatchFn&& fn) {
+  cfg.validate();
+  MRAM_EXPECTS(batch > 0, "importance sampling needs a positive batch size");
+  util::WeightedStats total;
+  std::size_t rounds = 0;
+  for (std::size_t r = 0; r < cfg.max_rounds; ++r) {
+    auto ws = runner.run_batched<util::WeightedStats>(
+        batch, derive_seed(seed, r), lane_width, make_context, fn);
+    total.merge(ws);
+    ++rounds;
+    if (total.rel_error() <= cfg.target_rel_error) break;
+  }
+  auto est = importance_estimate(total);
+  est.simulated_trials = static_cast<double>(rounds * batch);
+  est.effective_trials = brute_equivalent_trials(
+      est.probability, est.rel_error, est.simulated_trials);
+  return est;
+}
+
+/// Subset simulation (multilevel splitting in a standard-normal latent
+/// space) for the analytic workloads. The event is expressed through a
+/// deterministic score over `dim` iid standard normals; failure is
+/// score > 0. Level 0 draws n_per_level fresh vectors through the runner;
+/// each subsequent level resamples survivors and refreshes them with
+/// cfg.mcmc_steps preconditioned-Crank-Nicolson moves accepted inside the
+/// current level set. Levels come from cfg.levels (ascending score
+/// thresholds) or the adaptive quantile schedule (top level_p0 fraction,
+/// ties broken by trial index). Deterministic across --threads: level-k
+/// trial i draws only from Rng::stream(derive_seed(seed, k), i), and all
+/// cross-trial logic runs serially on chunk-order-merged results.
+RareEventEstimate subset_simulation(
+    MonteCarloRunner& runner, std::size_t dim, std::size_t n_per_level,
+    std::uint64_t seed, const RareEventConfig& cfg,
+    const std::function<double(const double*)>& score);
+
+}  // namespace mram::eng

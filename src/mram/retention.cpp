@@ -97,6 +97,102 @@ RetentionEnsembleResult measure_retention_faults(
                                          config.array.cols, rng);
   const std::uint64_t seed = rng();
 
+  // Trial-invariant per-cell flip probabilities, hoisted once: the rare
+  // drivers sample from transformed versions of this table, and every path
+  // reports the closed-form array fault probability it implies.
+  std::vector<double> p_flip;
+  {
+    MramArray probe(prototype);
+    probe.load(pattern);
+    p_flip = probe.retention_flip_probabilities(config.hold);
+  }
+  double log_survival = 0.0;
+  double expected_flips = 0.0;
+  for (double p : p_flip) {
+    log_survival += std::log1p(-std::min(p, 1.0 - 1e-15));
+    expected_flips += p;
+  }
+  const double exact_fail = -std::expm1(log_survival);
+
+  if (config.rare.method != eng::RareEventMethod::kBruteForce) {
+    eng::RareEventEstimate est;
+    if (expected_flips <= 0.0) {
+      est.method = config.rare.method;
+      est.rel_error = 0.0;  // no cell can flip: the answer is exactly 0
+    } else if (config.rare.method ==
+               eng::RareEventMethod::kImportanceSampling) {
+      // Product-Bernoulli importance sampling: cell i flips with inflated
+      // probability q_i = min(1/2, T p_i) instead of p_i, where the
+      // auto-tuned T = 1/sum(p_i) makes about one flip per trial expected.
+      // The likelihood ratio is exact: log w = sum_i l0_i + sum_flips
+      // (l1_i - l0_i) with l0 = log((1-p)/(1-q)), l1 = log(p/q).
+      const double temp =
+          (config.rare.tilt > 0.0) ? config.rare.tilt : 1.0 / expected_flips;
+      const std::size_t cells = p_flip.size();
+      std::vector<double> q(cells), l0(cells), dl(cells);
+      double base0 = 0.0;
+      for (std::size_t i = 0; i < cells; ++i) {
+        // Clamp like the closed form above: p_flip underflows to exactly 1
+        // for hopeless cells, which would make l0/dl infinite.
+        const double p = std::min(p_flip[i], 1.0 - 1e-15);
+        if (p <= 0.0) {
+          q[i] = 0.0;
+          l0[i] = 0.0;
+          dl[i] = 0.0;
+          continue;
+        }
+        q[i] = std::min(0.5, std::max(p, temp * p));
+        l0[i] = std::log1p(-p) - std::log1p(-q[i]);
+        dl[i] = (std::log(p) - std::log(q[i])) - l0[i];
+        base0 += l0[i];
+      }
+      est = eng::importance_rounds(
+          runner, config.trials, seed, config.rare,
+          [&](util::Rng& trial_rng, std::size_t, util::WeightedStats& ws) {
+            double logw = base0;
+            bool any = false;
+            for (std::size_t i = 0; i < cells; ++i) {
+              if (q[i] > 0.0 && trial_rng.uniform() < q[i]) {
+                logw += dl[i];
+                any = true;
+              }
+            }
+            if (any) {
+              ws.add(1.0, std::exp(logw));
+            } else {
+              ws.add(0.0, 0.0);
+            }
+          });
+    } else {
+      // Subset simulation on the per-cell latent Gaussians: cell i flips
+      // iff z_i < probit(p_i), so the fault score is the worst margin
+      // deficit max_i(probit(p_i) - z_i).
+      std::vector<double> b(p_flip.size());
+      for (std::size_t i = 0; i < p_flip.size(); ++i) {
+        b[i] = util::probit(std::min(p_flip[i], 1.0 - 1e-15));
+      }
+      est = eng::subset_simulation(
+          runner, b.size(), config.trials, seed, config.rare,
+          [&b](const double* z) {
+            double worst = -std::numeric_limits<double>::infinity();
+            for (std::size_t i = 0; i < b.size(); ++i) {
+              worst = std::max(worst, b[i] - z[i]);
+            }
+            return worst;
+          });
+    }
+
+    RetentionEnsembleResult result;
+    result.trials = static_cast<std::size_t>(est.simulated_trials);
+    result.faulty_trials = static_cast<std::size_t>(est.ess + 0.5);
+    result.fault_probability = est.probability;
+    result.confidence = est.confidence;
+    result.mean_flips = expected_flips;  // analytic expectation
+    result.exact_fault_probability = exact_fail;
+    result.rare = std::move(est);
+    return result;
+  }
+
   const auto record = [](std::size_t flips, Partial& acc) {
     acc.faulty += (flips > 0);
     acc.flips += flips;
@@ -149,6 +245,8 @@ RetentionEnsembleResult measure_retention_faults(
   result.confidence =
       util::wilson_interval(partial.faulty, config.trials);
   result.mean_flips = partial.per_hold.mean();
+  result.exact_fault_probability = exact_fail;
+  result.rare = eng::brute_force_estimate(partial.faulty, config.trials);
   return result;
 }
 

@@ -2,6 +2,7 @@
 
 #include "array/data_pattern.h"
 #include "engine/monte_carlo.h"
+#include "engine/rare_event.h"
 #include "mram/mram_array.h"
 #include "util/stats.h"
 
@@ -49,15 +50,27 @@ struct RetentionEnsembleConfig {
                                 ///< per-cell flip-probability table out of
                                 ///< its trial loop); 0 selects the scalar
                                 ///< reference path (bit-identical results)
+  /// Rare-event driver selection (default: brute force, the legacy loop).
+  /// Importance sampling inflates the per-cell flip probabilities and
+  /// carries exact product-Bernoulli likelihood ratios; splitting runs
+  /// subset simulation on the per-cell latent Gaussians. The retention
+  /// fault probability here also has a closed form (reported in
+  /// exact_fault_probability), which makes this workload the cleanest
+  /// validation target for both drivers.
+  eng::RareEventConfig rare;
 };
 
 struct RetentionEnsembleResult {
-  std::size_t trials = 0;
-  std::size_t faulty_trials = 0;  ///< trials with at least one flip
-  std::size_t total_flips = 0;
-  double fault_probability = 0.0; ///< faulty_trials / trials
-  util::Interval confidence;      ///< 95% Wilson interval on the above
-  double mean_flips = 0.0;        ///< flips per hold
+  std::size_t trials = 0;         ///< trials actually simulated
+  std::size_t faulty_trials = 0;  ///< trials with >= 1 flip / effective hits
+  std::size_t total_flips = 0;    ///< raw flip count (brute force only)
+  double fault_probability = 0.0; ///< estimated P(any cell flips)
+  util::Interval confidence;      ///< 95% Wilson (brute) or estimator CI
+  double mean_flips = 0.0;        ///< flips per hold (analytic for rare runs)
+  /// Closed-form 1 - prod(1 - p_i) over the per-cell flip probabilities --
+  /// the exact answer every estimator should agree with.
+  double exact_fault_probability = 0.0;
+  eng::RareEventEstimate rare;    ///< estimator quality (all methods)
 };
 
 RetentionEnsembleResult measure_retention_faults(

@@ -1,5 +1,7 @@
 #include "mram/wer.h"
 
+#include <cmath>
+
 #include "util/error.h"
 
 namespace mram::mem {
@@ -47,6 +49,69 @@ WerResult measure_wer(const WerConfig& config, util::Rng& rng,
   background.set(vr, vc, initial_bit);
   const std::uint64_t seed = rng();
 
+  // The same expressions MramArray::write evaluates per trial, once: stray
+  // field of the loaded background at the victim, then the analytic success
+  // probability. No rng draw here, so the caller's stream stays in lockstep
+  // with the scalar reference path. Shared by the batched brute-force path
+  // and both rare-event drivers.
+  const auto hoisted_success_probability = [&] {
+    MramArray probe(prototype);
+    probe.load(background);
+    MRAM_ENSURES(probe.read(vr, vc) != target_bit,
+                 "victim must start in the initial state");
+    const dev::SwitchDirection dir =
+        (target_bit == 0) ? SwitchDirection::kApToP : SwitchDirection::kPToAp;
+    return probe.device().write_success_probability(
+        dir, config.pulse.voltage, config.pulse.width,
+        probe.stray_field_at(vr, vc), config.array.temperature);
+  };
+
+  if (config.rare.method != eng::RareEventMethod::kBruteForce) {
+    // A write error is a single analytic Bernoulli with success probability
+    // p, recast on a standard-normal latent variable: error <=> z > beta,
+    // beta = probit(p). Importance sampling tilts z to the failure boundary
+    // (mean shift beta, the most likely failure point) and unbiases with
+    // the likelihood ratio; splitting runs subset simulation on the margin
+    // deficit z - beta. Either reaches WERs far below 1/trials.
+    const double p = hoisted_success_probability();
+    const double beta = util::probit(p);
+    eng::RareEventEstimate est;
+    if (!std::isfinite(beta)) {
+      // Degenerate operating point: errors certain (p == 0) or impossible.
+      est.method = config.rare.method;
+      est.probability = (p <= 0.0) ? 1.0 : 0.0;
+      est.rel_error = 0.0;
+      est.confidence = {est.probability, est.probability};
+    } else if (config.rare.method == eng::RareEventMethod::kImportanceSampling) {
+      const double theta = (config.rare.tilt != 0.0) ? config.rare.tilt : beta;
+      est = eng::importance_rounds(
+          runner, config.trials, seed, config.rare,
+          [theta, beta](util::Rng& trial_rng, std::size_t,
+                        util::WeightedStats& ws) {
+            double y;
+            trial_rng.normal_fill_tilted(&y, 1, &theta, 1);
+            if (y > beta) {
+              ws.add(1.0, std::exp(0.5 * theta * theta - theta * y));
+            } else {
+              ws.add(0.0, 0.0);
+            }
+          });
+    } else {
+      est = eng::subset_simulation(
+          runner, 1, config.trials, seed, config.rare,
+          [beta](const double* z) { return z[0] - beta; });
+    }
+
+    WerResult result;
+    result.wer = est.probability;
+    result.confidence = est.confidence;
+    result.errors = static_cast<std::size_t>(est.ess + 0.5);
+    result.trials = static_cast<std::size_t>(est.simulated_trials);
+    result.mean_success_probability = p;
+    result.rare = std::move(est);
+    return result;
+  }
+
   // The batched path hoists the trial-invariant physics: every trial
   // reloads the same background and fires the same pulse at the same
   // victim, so the stray field and the analytic success probability are
@@ -59,21 +124,7 @@ WerResult measure_wer(const WerConfig& config, util::Rng& rng,
   const auto partial =
       (config.batch_lanes > 0)
           ? [&] {
-              // The same expressions MramArray::write evaluates per trial,
-              // once: stray field of the loaded background at the victim,
-              // then the analytic success probability. No rng draw here,
-              // so the caller's stream stays in lockstep with the scalar
-              // reference path.
-              MramArray probe(prototype);
-              probe.load(background);
-              MRAM_ENSURES(probe.read(vr, vc) != target_bit,
-                           "victim must start in the initial state");
-              const dev::SwitchDirection dir = (target_bit == 0)
-                                                   ? SwitchDirection::kApToP
-                                                   : SwitchDirection::kPToAp;
-              const double p = probe.device().write_success_probability(
-                  dir, config.pulse.voltage, config.pulse.width,
-                  probe.stray_field_at(vr, vc), config.array.temperature);
+              const double p = hoisted_success_probability();
               return runner.run_batched<WerPartial>(
                   config.trials, seed, config.batch_lanes,
                   [&](util::Rng* rngs, std::size_t, std::size_t lanes,
@@ -104,6 +155,7 @@ WerResult measure_wer(const WerConfig& config, util::Rng& rng,
       static_cast<double>(result.errors) / static_cast<double>(result.trials);
   result.confidence = util::wilson_interval(result.errors, result.trials);
   result.mean_success_probability = partial.psucc.mean();
+  result.rare = eng::brute_force_estimate(result.errors, result.trials);
   return result;
 }
 

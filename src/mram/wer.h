@@ -2,6 +2,7 @@
 
 #include "array/data_pattern.h"
 #include "engine/monte_carlo.h"
+#include "engine/rare_event.h"
 #include "mram/mram_array.h"
 #include "util/stats.h"
 
@@ -26,14 +27,21 @@ struct WerConfig {
   std::size_t batch_lanes = 8;  ///< trials per lane-block on the batched
                                 ///< runner path; 0 selects the scalar
                                 ///< reference path (bit-identical results)
+  /// Rare-event driver selection. Brute force (default) runs the legacy
+  /// trial loop unchanged; importance sampling tilts the latent write-noise
+  /// variable toward failure, splitting runs subset simulation on the
+  /// margin deficit -- both reach WERs far below 1/trials with quantified
+  /// relative error, and both stay bit-identical across --threads.
+  eng::RareEventConfig rare;
 };
 
 struct WerResult {
-  std::size_t errors = 0;
-  std::size_t trials = 0;
+  std::size_t errors = 0;  ///< raw error count (brute) / effective hits
+  std::size_t trials = 0;  ///< trials actually simulated
   double wer = 0.0;
-  util::Interval confidence;  ///< 95% Wilson interval
+  util::Interval confidence;  ///< 95% Wilson (brute) or estimator CI
   double mean_success_probability = 0.0;
+  eng::RareEventEstimate rare;  ///< estimator quality (all methods)
 };
 
 /// Repeatedly initializes the array to `background` with the victim in the

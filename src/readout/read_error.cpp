@@ -134,4 +134,18 @@ ReadOutcome ReadErrorModel::sample_read(const OperatingPoint& op,
   return out;
 }
 
+double ReadErrorModel::noise_margin(const OperatingPoint& op, MtjState stored,
+                                    const double z[3]) const {
+  // Same arithmetic as sample_read + SenseAmp::sample, with the deviates
+  // injected instead of drawn: tmr_mult from z[0] (clamped like the sampled
+  // path), offset from z[1], reference mismatch from z[2].
+  const double tmr_mult = std::max(1.0 + path_.tmr_sigma_rel * z[0], 0.05);
+  const CellRead read = cell_read(op.port, stored, tmr_mult);
+  const double offset = path_.sense.offset_sigma * z[1];
+  const double ref_error = path_.sense.reference_sigma * z[2];
+  const double differential =
+      (read.i_cell + offset) - (op.i_ref + ref_error);
+  return stored == MtjState::kParallel ? differential : -differential;
+}
+
 }  // namespace mram::rdo

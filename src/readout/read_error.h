@@ -115,6 +115,16 @@ class ReadErrorModel {
   ReadOutcome sample_read(const OperatingPoint& op, dev::MtjState stored,
                           double hz_stray, double t, util::Rng& rng) const;
 
+  /// Deterministic mirror of sample_read's sense decision with the three
+  /// standard-normal deviates made explicit: z[0] is the TMR variation,
+  /// z[1] the comparator offset, z[2] the reference mismatch. Returns the
+  /// signed correct-side differential the latch sees; the read fails
+  /// (wrong decision or metastable strobe) iff the returned margin is
+  /// below the sense amp's metastable band. At z = {0,0,0} this equals
+  /// op.margin. The rare-event drivers tilt / split on this function.
+  double noise_margin(const OperatingPoint& op, dev::MtjState stored,
+                      const double z[3]) const;
+
  private:
   double mtj_resistance(dev::MtjState state, double v, double tmr_mult) const;
 

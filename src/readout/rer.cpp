@@ -71,6 +71,61 @@ RerResult measure_rer(const RerConfig& config, util::Rng& rng,
   const std::uint64_t seed = rng();
   const auto op = model.operating_point(row, column);
 
+  if (config.rare.method != eng::RareEventMethod::kBruteForce) {
+    // A read error (wrong decision or metastable strobe) is the noise
+    // margin landing below the metastable band, over the three per-read
+    // standard normals z = (TMR, offset, reference). At nominal TMR the
+    // margin is linear in (z1, z2), so beta below is the Gaussian distance
+    // to the failure boundary in total-sense-sigma units -- the anchor for
+    // the importance tilt. The full nonlinear noise_margin (TMR through
+    // the electrical solve) is what both drivers actually evaluate.
+    const SenseAmpParams& sp = config.path.sense;
+    const double band = sp.metastable_band;
+    const double sigma = model.sense_amp().total_sigma();
+    const double beta = (op.margin - band) / sigma;
+    eng::RareEventEstimate est;
+    if (config.rare.method == eng::RareEventMethod::kImportanceSampling) {
+      // noise_margin ~ op.margin + s*(sigma_off z1 - sigma_ref z2), s = +1
+      // for stored P and -1 for AP; the most likely failure point shifts
+      // (z1, z2) by beta along the failure gradient. The TMR deviate z0
+      // stays untilted: it enters through the nonlinear electrical solve,
+      // and the sense deviates dominate the boundary.
+      const double theta = (config.rare.tilt != 0.0) ? config.rare.tilt : beta;
+      const double s = config.stored == MtjState::kParallel ? 1.0 : -1.0;
+      const double tilt[3] = {0.0, -s * theta * sp.offset_sigma / sigma,
+                              s * theta * sp.reference_sigma / sigma};
+      const double bias =
+          0.5 * (tilt[1] * tilt[1] + tilt[2] * tilt[2]);
+      est = eng::importance_rounds(
+          runner, config.trials, seed, config.rare,
+          [&](util::Rng& trial_rng, std::size_t, util::WeightedStats& ws) {
+            double z[3];
+            trial_rng.normal_fill_tilted(z, 3, tilt, 3);
+            if (model.noise_margin(op, config.stored, z) < band) {
+              ws.add(1.0, std::exp(bias - tilt[1] * z[1] - tilt[2] * z[2]));
+            } else {
+              ws.add(0.0, 0.0);
+            }
+          });
+    } else {
+      est = eng::subset_simulation(
+          runner, 3, config.trials, seed, config.rare,
+          [&](const double* z) {
+            return band - model.noise_margin(op, config.stored, z);
+          });
+    }
+
+    RerResult result;
+    result.trials = static_cast<std::size_t>(est.simulated_trials);
+    result.read_errors = static_cast<std::size_t>(est.ess + 0.5);
+    result.rer = est.probability;
+    result.confidence = est.confidence;
+    result.mean_margin = op.margin;  // nominal; no sampled margins here
+    result.op = op;
+    result.rare = std::move(est);
+    return result;
+  }
+
   // The batched path hoists the trial-invariant electrical solve: every
   // trial reads the same cell on the same column, so the ladder reduction
   // and the reference current are one evaluation per run. Each lane then
@@ -115,12 +170,15 @@ RerResult measure_rer(const RerConfig& config, util::Rng& rng,
   result.confidence = util::wilson_interval(result.read_errors, result.trials);
   result.mean_margin = partial.margin.mean();
   result.op = op;
+  result.rare = eng::brute_force_estimate(result.read_errors, result.trials);
   return result;
 }
 
 // --- measure_read_disturb --------------------------------------------------
 
 namespace {
+
+constexpr std::size_t kMaxLanes = 64;
 
 struct DisturbPartial {
   std::size_t disturbed = 0;
@@ -131,6 +189,201 @@ struct DisturbPartial {
     times.merge(o.times);
   }
 };
+
+/// One splitting stage's trajectory results, concatenated in trial order by
+/// the runner's chunk-ordered merge.
+struct StagePartial {
+  std::vector<dyn::SwitchResult> results;
+  void merge(const StagePartial& o) {
+    results.insert(results.end(), o.results.begin(), o.results.end());
+  }
+};
+
+/// Multilevel splitting on the switching coordinate: trajectories are staged
+/// through descending |mz| thresholds; each stage restarts N trajectories
+/// from uniformly resampled survivor crossing states (with their elapsed
+/// time) and integrates them to the next threshold within the remaining
+/// pulse window. The disturb probability is the product of the per-stage
+/// conditional crossing fractions. Deterministic across --threads: stage k
+/// trial i draws only from Rng::stream(derive_seed(seed, k), i) -- the
+/// parent pick first, then the integrator -- and all cross-trial logic runs
+/// serially on the chunk-order-merged results; the batched shape consumes
+/// the identical per-trial draws through the per-lane-durations kernel.
+eng::RareEventEstimate disturb_splitting(const ReadDisturbConfig& config,
+                                         eng::MonteCarloRunner& runner,
+                                         const dyn::LlgParams& llg,
+                                         double delta, double mz0,
+                                         double duration,
+                                         std::uint64_t seed) {
+  config.rare.validate();
+  const std::size_t N = config.trials;
+  MRAM_EXPECTS(N >= 4, "splitting needs >= 4 trajectories per stage");
+  const double dN = static_cast<double>(N);
+
+  // Stage schedule: descending |mz| thresholds ending at the mz = 0
+  // crossing (the disturb event itself). The auto schedule spaces levels
+  // evenly in the energy coordinate 1 - mz^2 (the macrospin barrier is
+  // ~ Delta * (1 - mz^2)), aiming at a conditional probability of about
+  // level_p0 per stage: crossing costs ~ln(1/p0) of barrier each.
+  std::vector<double> xs;
+  if (!config.rare.levels.empty()) {
+    xs = config.rare.levels;
+    for (std::size_t j = 0; j < xs.size(); ++j) {
+      MRAM_EXPECTS(xs[j] >= 0.0 && xs[j] < 1.0,
+                   "|mz| levels must be in [0, 1)");
+      MRAM_EXPECTS(j == 0 || xs[j] < xs[j - 1], "|mz| levels must descend");
+    }
+    if (xs.back() != 0.0) xs.push_back(0.0);
+  } else {
+    const double lp = std::log(1.0 / config.rare.level_p0);
+    std::size_t n = static_cast<std::size_t>(std::ceil(delta / lp));
+    n = std::min(std::max<std::size_t>(n, 1), config.rare.max_levels);
+    const double spacing = std::max(lp / delta, 1.0 / static_cast<double>(n));
+    for (std::size_t j = 1; j <= n; ++j) {
+      const double e = 1.0 - static_cast<double>(j) * spacing;
+      xs.push_back(e > 0.0 ? std::sqrt(e) : 0.0);
+    }
+    xs.back() = 0.0;
+  }
+
+  eng::RareEventEstimate est;
+  est.method = eng::RareEventMethod::kSplitting;
+
+  // Survivor pool of the previous stage: crossing states and elapsed times.
+  std::vector<num::Vec3> pool_m;
+  std::vector<double> pool_t;
+
+  double log_p = 0.0;
+  double delta2 = 0.0;
+  double simulated = 0.0;
+  bool dead = false;
+
+  for (std::size_t k = 0; k < xs.size(); ++k) {
+    const double thr = mz0 * xs[k];
+    const std::uint64_t stage_seed = eng::derive_seed(seed, k);
+    const std::size_t pool = pool_m.size();
+
+    // Per-trial draw order, both shapes: stage 0 pays the thermal tilt's
+    // two uniforms; later stages pay one below(pool) for the parent pick;
+    // then the stream goes to the integrator. A parent that crossed with
+    // no window left fails immediately without touching the integrator.
+    StagePartial gen;
+    if (config.batch_lanes > 0) {
+      gen = runner.run_batched<StagePartial>(
+          N, stage_seed, config.batch_lanes,
+          [&] { return dyn::BatchMacrospinSim(llg); },
+          [&](dyn::BatchMacrospinSim& batch, util::Rng* rngs, std::size_t,
+              std::size_t lanes, StagePartial& acc) {
+            num::Vec3 m0[kMaxLanes];
+            double left[kMaxLanes];
+            double base_t[kMaxLanes];
+            std::size_t idx[kMaxLanes];
+            util::Rng comp[kMaxLanes];
+            dyn::SwitchResult res[kMaxLanes];
+            std::size_t na = 0;
+            for (std::size_t l = 0; l < lanes; ++l) {
+              double t0 = 0.0;
+              num::Vec3 start;
+              if (k == 0) {
+                start = dyn::thermal_initial_tilt(rngs[l], delta, mz0);
+              } else {
+                const std::size_t j = rngs[l].below(pool);
+                start = pool_m[j];
+                t0 = pool_t[j];
+              }
+              if (duration - t0 <= 0.0) {
+                res[l].time = t0;
+                continue;
+              }
+              m0[na] = start;
+              left[na] = duration - t0;
+              base_t[na] = t0;
+              comp[na] = rngs[l];
+              idx[na] = l;
+              ++na;
+            }
+            if (na > 0) {
+              dyn::SwitchResult sub[kMaxLanes];
+              batch.run_until_switch(na, m0, comp, left, config.dt, sub,
+                                     thr);
+              for (std::size_t a = 0; a < na; ++a) {
+                sub[a].time += base_t[a];
+                res[idx[a]] = sub[a];
+              }
+            }
+            for (std::size_t l = 0; l < lanes; ++l) {
+              acc.results.push_back(res[l]);
+            }
+          });
+    } else {
+      gen = runner.run<StagePartial>(
+          N, stage_seed, [&] { return dyn::MacrospinSim(llg); },
+          [&](dyn::MacrospinSim& sim, util::Rng& trial_rng, std::size_t,
+              StagePartial& acc) {
+            double t0 = 0.0;
+            num::Vec3 start;
+            if (k == 0) {
+              start = dyn::thermal_initial_tilt(trial_rng, delta, mz0);
+            } else {
+              const std::size_t j = trial_rng.below(pool);
+              start = pool_m[j];
+              t0 = pool_t[j];
+            }
+            dyn::SwitchResult r{};
+            if (duration - t0 > 0.0) {
+              r = sim.run_until_switch(start, duration - t0, config.dt,
+                                       trial_rng, thr);
+              r.time += t0;
+            } else {
+              r.time = t0;
+            }
+            acc.results.push_back(r);
+          });
+    }
+    simulated += dN;
+
+    std::vector<num::Vec3> next_m;
+    std::vector<double> next_t;
+    for (const auto& r : gen.results) {
+      if (r.switched) {
+        next_m.push_back(r.m_end);
+        next_t.push_back(r.time);
+      }
+    }
+    if (next_m.empty()) {
+      dead = true;
+      break;
+    }
+    const double phat = static_cast<double>(next_m.size()) / dN;
+    log_p += std::log(phat);
+    // Stage 0 trials are independent (g = 1); resampled stages are
+    // correlated through shared parents, inflated by g = 3 like the
+    // subset-simulation driver (a documented, conservative approximation).
+    delta2 += (k == 0 ? 1.0 : 3.0) * (1.0 - phat) / (dN * phat);
+    est.level_probabilities.push_back(phat);
+    est.ess = static_cast<double>(next_m.size());
+    pool_m = std::move(next_m);
+    pool_t = std::move(next_t);
+  }
+
+  est.simulated_trials = simulated;
+  if (dead) {
+    // Nothing crossed this stage: report zero with a rule-of-three style
+    // upper bound conditional on the stages that did resolve.
+    est.probability = 0.0;
+    est.ess = 0.0;
+    est.confidence = {0.0, std::exp(log_p) * 3.0 / dN};
+    return est;
+  }
+  est.probability = std::exp(log_p);
+  est.rel_error = std::sqrt(delta2);
+  est.confidence = {
+      std::max(0.0, est.probability * (1.0 - 1.96 * est.rel_error)),
+      est.probability * (1.0 + 1.96 * est.rel_error)};
+  est.effective_trials = eng::brute_equivalent_trials(
+      est.probability, est.rel_error, simulated);
+  return est;
+}
 
 }  // namespace
 
@@ -167,9 +420,76 @@ ReadDisturbResult measure_read_disturb(const ReadDisturbConfig& config,
   const double mz0 = dev::state_direction(config.stored);
 
   const std::uint64_t seed = rng();
-  constexpr std::size_t kMaxLanes = 64;
   MRAM_EXPECTS(config.batch_lanes <= kMaxLanes,
                "read-disturb lane width capped at 64");
+
+  if (config.rare.method != eng::RareEventMethod::kBruteForce) {
+    eng::RareEventEstimate est;
+    if (config.rare.method == eng::RareEventMethod::kImportanceSampling) {
+      // Constant mean shift of the standard-normal thermal deviates along
+      // the switching direction (-z for a +z stored state); the tilted
+      // Heun kernels accumulate the exact pathwise likelihood ratio per
+      // trajectory. Good for moderately rare disturbs; a constant drift is
+      // a weak proxy deep in the diffusive regime -- use splitting there.
+      const double theta = (config.rare.tilt != 0.0) ? config.rare.tilt : 1.0;
+      const num::Vec3 tilt{0.0, 0.0, -theta * mz0};
+      const auto fold = [](const dyn::SwitchResult& r,
+                           util::WeightedStats& ws) {
+        if (r.switched) {
+          ws.add(1.0, std::exp(r.log_weight));
+        } else {
+          ws.add(0.0, 0.0);
+        }
+      };
+      est =
+          (config.batch_lanes > 0)
+              ? eng::importance_rounds_batched(
+                    runner, config.trials, config.batch_lanes, seed,
+                    config.rare, [&] { return dyn::BatchMacrospinSim(llg); },
+                    [&](dyn::BatchMacrospinSim& batch, util::Rng* rngs,
+                        std::size_t, std::size_t lanes,
+                        util::WeightedStats& ws) {
+                      num::Vec3 m0[kMaxLanes];
+                      dyn::SwitchResult result[kMaxLanes];
+                      for (std::size_t l = 0; l < lanes; ++l) {
+                        m0[l] =
+                            dyn::thermal_initial_tilt(rngs[l], delta, mz0);
+                      }
+                      batch.run_until_switch(lanes, m0, rngs, duration,
+                                             config.dt, result, 0.0, tilt);
+                      for (std::size_t l = 0; l < lanes; ++l) {
+                        fold(result[l], ws);
+                      }
+                    })
+              : eng::importance_rounds(
+                    runner, config.trials, seed, config.rare,
+                    [&](util::Rng& trial_rng, std::size_t,
+                        util::WeightedStats& ws) {
+                      const dyn::MacrospinSim sim(llg);
+                      const num::Vec3 m0 =
+                          dyn::thermal_initial_tilt(trial_rng, delta, mz0);
+                      fold(sim.run_until_switch(m0, duration, config.dt,
+                                                trial_rng, 0.0, tilt),
+                           ws);
+                    });
+    } else {
+      est = disturb_splitting(config, runner, llg, delta, mz0, duration,
+                              seed);
+    }
+
+    ReadDisturbResult result;
+    result.trials = static_cast<std::size_t>(est.simulated_trials);
+    result.disturbed = static_cast<std::size_t>(est.ess + 0.5);
+    result.rate = est.probability;
+    result.confidence = est.confidence;
+    result.analytic_probability = model.disturb_probability(
+        config.stored, i_read, duration, config.hz_stray,
+        config.temperature);
+    result.i_read = i_read;
+    result.v_mtj = v_mtj;
+    result.rare = std::move(est);
+    return result;
+  }
 
   // Identical trial bodies: thermal tilt (two uniforms) then the stochastic
   // Heun integration. The batched kernel's per-lane arithmetic is the same
@@ -222,6 +542,7 @@ ReadDisturbResult measure_read_disturb(const ReadDisturbConfig& config,
       config.stored, i_read, duration, config.hz_stray, config.temperature);
   result.i_read = i_read;
   result.v_mtj = v_mtj;
+  result.rare = eng::brute_force_estimate(result.disturbed, result.trials);
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include "array/data_pattern.h"
 #include "dynamics/llg_batch.h"
 #include "engine/monte_carlo.h"
+#include "engine/rare_event.h"
 #include "readout/read_error.h"
 #include "sim/variation.h"
 #include "util/stats.h"
@@ -43,6 +44,16 @@ struct RerConfig {
   eng::RunnerConfig runner;
   std::size_t batch_lanes = 8;  ///< trials per lane-block; 0 = scalar
                                 ///< reference path (bit-identical results)
+  /// Rare-event driver selection. The accelerated paths estimate the read
+  /// error probability (wrong decision OR metastable strobe, i.e. the
+  /// noise margin landing below the metastable band) over the three
+  /// per-read deviates (TMR, offset, reference mismatch). Importance
+  /// sampling tilts the two sense deviates toward the failure boundary
+  /// (the TMR deviate stays untilted: it enters the margin through the
+  /// nonlinear electrical solve); splitting runs subset simulation on the
+  /// margin deficit. The disturb bernoulli is not part of the deep
+  /// estimate -- its analytic probability lives in error_budget.
+  eng::RareEventConfig rare;
 };
 
 struct RerResult {
@@ -50,12 +61,14 @@ struct RerResult {
   std::size_t decision_errors = 0;  ///< sensed the complement of the stored bit
   std::size_t blocked = 0;          ///< metastable strobes (no valid data)
   std::size_t disturbs = 0;         ///< reads that flipped the stored bit
-  std::size_t read_errors = 0;      ///< decision_errors + blocked
-  double rer = 0.0;                 ///< read_errors / trials
-  double disturb_rate = 0.0;        ///< disturbs / trials
-  util::Interval confidence;        ///< 95% Wilson interval on rer
+  std::size_t read_errors = 0;      ///< decision + blocked / effective hits
+  double rer = 0.0;                 ///< estimated read-error probability
+  double disturb_rate = 0.0;        ///< disturbs / trials (brute force only)
+  util::Interval confidence;        ///< 95% Wilson (brute) or estimator CI
   double mean_margin = 0.0;         ///< mean signed sensed margin [A]
+                                    ///< (nominal op.margin for rare runs)
   ReadErrorModel::OperatingPoint op;  ///< nominal operating point
+  eng::RareEventEstimate rare;        ///< estimator quality (all methods)
 };
 
 /// Repeatedly reads one cell storing `stored` at the configured row and
@@ -78,17 +91,29 @@ struct ReadDisturbConfig {
   eng::RunnerConfig runner;
   std::size_t batch_lanes = dyn::BatchMacrospinSim::kDefaultLanes;
                           ///< 0 = scalar MacrospinSim reference path
+  /// Rare-event driver selection on the stochastic-LLG trajectories.
+  /// Importance sampling applies a constant mean shift to the thermal
+  /// field along the switching direction (exact pathwise likelihood
+  /// ratios from the tilted Heun kernels; best for moderately rare
+  /// disturbs -- a constant tilt is a weak drift proxy deep in the
+  /// diffusive regime). Splitting stages the trajectories through
+  /// descending |mz| levels, restarting survivors from their crossing
+  /// states -- the driver of choice for very deep disturb rates. Both
+  /// run scalar or batched (batch_lanes) and stay bit-identical across
+  /// --threads.
+  eng::RareEventConfig rare;
 };
 
 struct ReadDisturbResult {
-  std::size_t trials = 0;
-  std::size_t disturbed = 0;
-  double rate = 0.0;
-  util::Interval confidence;       ///< 95% Wilson interval on rate
-  double mean_switch_time = 0.0;   ///< over disturbed trials [s]
+  std::size_t trials = 0;          ///< trajectories actually simulated
+  std::size_t disturbed = 0;       ///< raw count (brute) / effective hits
+  double rate = 0.0;               ///< estimated disturb probability
+  util::Interval confidence;       ///< 95% Wilson (brute) or estimator CI
+  double mean_switch_time = 0.0;   ///< over disturbed trials [s] (brute only)
   double analytic_probability = 0.0;  ///< thermal-activation model, same drive
   double i_read = 0.0;             ///< read current through the cell [A]
   double v_mtj = 0.0;              ///< bias across the MTJ [V]
+  eng::RareEventEstimate rare;     ///< estimator quality (all methods)
 };
 
 /// Stochastic-LLG read disturb: each trial tilts the stored state thermally

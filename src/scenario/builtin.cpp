@@ -8,6 +8,7 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
   register_memory_scenarios(registry);
   register_readout_scenarios(registry);
   register_ablation_scenarios(registry);
+  register_deep_scenarios(registry);
 }
 
 }  // namespace mram::scn

@@ -13,5 +13,6 @@ void register_coupling_scenarios(ScenarioRegistry& registry);
 void register_memory_scenarios(ScenarioRegistry& registry);
 void register_readout_scenarios(ScenarioRegistry& registry);
 void register_ablation_scenarios(ScenarioRegistry& registry);
+void register_deep_scenarios(ScenarioRegistry& registry);
 
 }  // namespace mram::scn

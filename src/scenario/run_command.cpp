@@ -32,7 +32,8 @@ int run_scenarios(const ScenarioRegistry& registry,
 
   int failures = 0;
   double total_secs = 0.0;
-  util::Table summary({"scenario", "status", "tables", "wall (s)"});
+  util::Table summary({"scenario", "status", "tables", "eff. trials",
+                       "rel err", "wall (s)"});
   for (const auto& name : names) {
     const auto& scenario = registry.at(name);
     const auto start = std::chrono::steady_clock::now();
@@ -52,6 +53,12 @@ int run_scenarios(const ScenarioRegistry& registry,
       const double secs = elapsed();
       total_secs += secs;
       summary.add_row({name, "ok", std::to_string(results.tables.size()),
+                       results.effective_trials > 0.0
+                           ? util::format_scientific(results.effective_trials)
+                           : "-",
+                       results.rel_error >= 0.0
+                           ? util::format_scientific(results.rel_error)
+                           : "-",
                        util::format_double(secs, 2)});
       if (!opt.out_dir.empty()) {
         out << "ok   " << name << " (" << results.tables.size()
@@ -61,7 +68,8 @@ int run_scenarios(const ScenarioRegistry& registry,
       ++failures;
       const double secs = elapsed();
       total_secs += secs;
-      summary.add_row({name, "FAIL", "-", util::format_double(secs, 2)});
+      summary.add_row(
+          {name, "FAIL", "-", "-", "-", util::format_double(secs, 2)});
       err << "FAIL " << name << ": " << e.what() << "\n";
     }
   }

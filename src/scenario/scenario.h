@@ -65,6 +65,13 @@ struct ResultSet {
   std::vector<ResultTable> tables;
   std::vector<std::string> notes;
 
+  /// Estimator quality of the scenario's headline stochastic result, shown
+  /// in the run-summary table: brute-force-equivalent trial count and
+  /// estimator relative error (see eng::RareEventEstimate). Left at the
+  /// defaults (<= 0 / < 0) by scenarios that don't report them.
+  double effective_trials = 0.0;
+  double rel_error = -1.0;
+
   /// Starts a new table and returns a reference to fill in.
   ResultTable& add(std::string name, std::string title,
                    std::vector<std::string> columns);

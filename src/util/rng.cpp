@@ -313,6 +313,33 @@ void Rng::normal_fill_pair(Rng& a, Rng& b, double* out_a, double* out_b,
   }
 }
 
+void Rng::normal_fill_tilted(double* out, std::size_t n, const double* tilt,
+                             std::size_t period) {
+  MRAM_EXPECTS(period > 0, "normal_fill_tilted requires period > 0");
+  // Draw first, shift second: the raw stream must match normal_fill exactly
+  // so tilted and untilted runs consume identical engine state and a zero
+  // tilt degenerates to normal_fill bitwise.
+  normal_fill(out, n);
+  std::size_t c = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    out[k] += tilt[c];
+    if (++c == period) c = 0;
+  }
+}
+
+void Rng::normal_fill_pair_tilted(Rng& a, Rng& b, double* out_a, double* out_b,
+                                  std::size_t n, const double* tilt,
+                                  std::size_t period) {
+  MRAM_EXPECTS(period > 0, "normal_fill_pair_tilted requires period > 0");
+  normal_fill_pair(a, b, out_a, out_b, n);
+  std::size_t c = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    out_a[k] += tilt[c];
+    out_b[k] += tilt[c];
+    if (++c == period) c = 0;
+  }
+}
+
 std::uint64_t Rng::below(std::uint64_t n) {
   MRAM_EXPECTS(n > 0, "below(n) requires n > 0");
   // Rejection sampling to avoid modulo bias.

@@ -67,6 +67,24 @@ class Rng {
   static void normal_fill_pair(Rng& a, Rng& b, double* out_a, double* out_b,
                                std::size_t n);
 
+  /// Exponentially tilted normal_fill: out[k] = z_k + tilt[k % period] where
+  /// the z_k are *exactly* the deviates normal_fill would have produced --
+  /// the raw draw stream (including fallback consumption) is untouched, so
+  /// an all-zero tilt reproduces normal_fill bit for bit, and a tilted run
+  /// consumes the same engine state as an untilted one. The importance
+  /// sampler's likelihood-ratio bookkeeping relies on this: the tilt is a
+  /// deterministic mean shift applied after the draw, never a change to the
+  /// sampling path. Precondition: period > 0.
+  void normal_fill_tilted(double* out, std::size_t n, const double* tilt,
+                          std::size_t period);
+
+  /// Tilted counterpart of normal_fill_pair: both outputs get the same
+  /// periodic mean shift applied after the lockstep draws. Each engine's
+  /// draw sequence is exactly its solo normal_fill sequence.
+  static void normal_fill_pair_tilted(Rng& a, Rng& b, double* out_a,
+                                      double* out_b, std::size_t n,
+                                      const double* tilt, std::size_t period);
+
   /// Uniform integer in [0, n). Precondition: n > 0.
   std::uint64_t below(std::uint64_t n);
 

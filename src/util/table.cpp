@@ -15,6 +15,12 @@ std::string format_double(double v, int precision) {
   return os.str();
 }
 
+std::string format_scientific(double v, int precision) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(precision) << v;
+  return os.str();
+}
+
 Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
   MRAM_EXPECTS(!headers_.empty(), "table requires at least one column");
 }

@@ -41,4 +41,8 @@ class Table {
 /// Formats a double with fixed precision (helper for heterogeneous rows).
 std::string format_double(double v, int precision = 4);
 
+/// Formats a double in scientific notation -- for columns whose magnitudes
+/// span many decades (rare-event rates, effective trial counts).
+std::string format_scientific(double v, int precision = 2);
+
 }  // namespace mram::util

@@ -363,6 +363,36 @@ TEST(RunCommand, SummaryTableHasOneRowPerScenario) {
   EXPECT_EQ(out.str().find("run summary"), std::string::npos);
 }
 
+TEST(RunCommand, SummaryReportsEstimatorQualityColumns) {
+  // Scenarios that fill ResultSet::effective_trials / rel_error get them
+  // rendered in the stderr summary; the others show "-" placeholders.
+  ScenarioRegistry registry = tiny_registry();
+  Scenario deep;
+  deep.info.name = "tiny_deep";
+  deep.info.figure = "Test";
+  deep.info.summary = "reports estimator quality";
+  deep.run = [](ScenarioContext&) {
+    ResultSet out;
+    out.add("t", "tiny table", {"x"}).add_row({Cell(1.0, 1)});
+    out.effective_trials = 2.5e9;
+    out.rel_error = 0.073;
+    return out;
+  };
+  registry.add(deep);
+
+  RunCommandOptions opt;
+  opt.names = {"tiny_alpha", "tiny_deep"};
+  opt.format = "csv";
+  std::ostringstream out, err;
+  EXPECT_EQ(run_scenarios(registry, opt, out, err), 0);
+  const std::string log = err.str();
+  EXPECT_NE(log.find("eff. trials"), std::string::npos);
+  EXPECT_NE(log.find("rel err"), std::string::npos);
+  EXPECT_NE(log.find("2.50e+09"), std::string::npos);
+  EXPECT_NE(log.find("7.30e-02"), std::string::npos);
+  EXPECT_EQ(table_rows_mentioning(log, "-"), 1u);  // only tiny_alpha's row
+}
+
 TEST(RunCommand, SingleScenarioSkipsTheSummary) {
   const auto registry = tiny_registry();
   RunCommandOptions opt;
