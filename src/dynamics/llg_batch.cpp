@@ -23,19 +23,27 @@
 // Runtime-dispatched SIMD width for the lane loop on x86-64: the portable
 // baseline only guarantees SSE2 (2 doubles/op), so the default build would
 // leave a lot on the table on AVX machines. target_clones emits one clone
-// per ISA plus an ifunc resolver picked at load time. AVX2 (4-wide) is the
-// widest clone on purpose: one Heun step is a serial dependency chain, so
-// at the default 8-lane width an AVX-512 clone packs the whole block into
-// a single latency-bound zmm chain, and measured slower than two
-// interleaved ymm chains (plus heavy zmm sqrt/div and license
-// downclocking). Safe for the bit-identity contract because vectorization
-// only reorders *independent lanes*, never the within-lane operation
-// sequence, and the build pins -ffp-contract=off so no clone can fuse
-// multiply-adds.
+// per ISA plus an ifunc resolver picked at load time. The clone list is
+// width-dependent: one Heun step is a serial dependency chain, so at the
+// default 8-lane width an AVX-512 clone packs the whole block into a single
+// latency-bound zmm chain, and measured slower than two interleaved ymm
+// chains (plus heavy zmm sqrt/div and license downclocking) -- the generic
+// and 8-lane kernels therefore stop at AVX2. At 16 lanes the block fills
+// two independent zmm chains and AVX-512 pays off, so the dedicated w16
+// kernel adds an avx512f clone and preferred_lanes() steers the drivers to
+// 16-lane blocks on CPUs that have it. Safe for the bit-identity contract
+// because vectorization only reorders *independent lanes*, never the
+// within-lane operation sequence, and the build pins -ffp-contract=off so
+// no clone can fuse multiply-adds.
 #if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
 #define MRAM_SIMD_CLONES __attribute__((target_clones("avx2", "default")))
+#define MRAM_SIMD_CLONES_W16 \
+  __attribute__((target_clones("avx512f", "avx2", "default")))
+#define MRAM_HAS_AVX512_DISPATCH 1
 #else
 #define MRAM_SIMD_CLONES
+#define MRAM_SIMD_CLONES_W16
+#define MRAM_HAS_AVX512_DISPATCH 0
 #endif
 
 namespace mram::dyn {
@@ -141,7 +149,33 @@ MRAM_NOINLINE MRAM_SIMD_CLONES std::size_t step_lanes_block_w8(
                                                wcoeffs, mz_stop);
 }
 
+// Fixed 16-lane specialization, the only kernel with an avx512f clone: two
+// independent zmm dependency chains keep the wide units busy where a single
+// 8-lane chain cannot (see the clone-list comment above).
+template <bool kHasTorque, bool kHasTilt>
+MRAM_NOINLINE MRAM_SIMD_CLONES_W16 std::size_t step_lanes_block_w16(
+    std::size_t steps, std::size_t h_stride, double* MRAM_RESTRICT mx,
+    double* MRAM_RESTRICT my, double* MRAM_RESTRICT mz,
+    const double* MRAM_RESTRICT hxm, const double* MRAM_RESTRICT hym,
+    const double* MRAM_RESTRICT hzm, const double* MRAM_RESTRICT sign,
+    double* MRAM_RESTRICT crossed, double* MRAM_RESTRICT logw,
+    const detail::HeunStepCoeffs& coeffs,
+    const detail::TiltWeightCoeffs& wcoeffs, double mz_stop) {
+  static_assert(BatchMacrospinSim::kAvx512Lanes == 16);
+  return step_lanes_body<kHasTorque, kHasTilt>(16, steps, h_stride, mx, my,
+                                               mz, hxm, hym, hzm, sign,
+                                               crossed, logw, coeffs,
+                                               wcoeffs, mz_stop);
+}
+
 }  // namespace
+
+std::size_t BatchMacrospinSim::preferred_lanes() {
+#if MRAM_HAS_AVX512_DISPATCH
+  if (__builtin_cpu_supports("avx512f")) return kAvx512Lanes;
+#endif
+  return kDefaultLanes;
+}
 
 void BatchMacrospinSim::run_until_switch(std::size_t lanes, const Vec3* m0,
                                          util::Rng* rngs, double duration,
@@ -290,6 +324,12 @@ void BatchMacrospinSim::run_until_switch(std::size_t lanes, const Vec3* m0,
       constexpr bool kW = decltype(tilted)::value;
       if (n_active == kDefaultLanes) {
         return step_lanes_block_w8<kT, kW>(
+            remaining, h_stride, mx_.data(), my_.data(), mz_.data(), hxm,
+            hym, hzm, sign_.data(), crossed_.data(), logw_.data(), coeffs,
+            wcoeffs, mz_stop);
+      }
+      if (n_active == kAvx512Lanes) {
+        return step_lanes_block_w16<kT, kW>(
             remaining, h_stride, mx_.data(), my_.data(), mz_.data(), hxm,
             hym, hzm, sign_.data(), crossed_.data(), logw_.data(), coeffs,
             wcoeffs, mz_stop);

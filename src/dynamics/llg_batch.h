@@ -15,11 +15,11 @@
 // a lane-block of B *independent* trials in lockstep over SoA double arrays.
 // The per-lane step is the canonical stochastic_heun_step shared with the
 // scalar path (llg_heun_step.h), inlined into a lane loop that the compiler
-// auto-vectorizes -- with an AVX2 clone dispatched at load time on x86-64
-// (deliberately not AVX-512: see llg_batch.cpp) -- and driven for up to a
-// whole thermal-noise block (64 steps) per
-// kernel call, with an early return as soon as any lane's mz crosses the
-// stop plane.
+// auto-vectorizes -- with AVX2 and (for 16-lane blocks) AVX-512 clones
+// dispatched at load time on x86-64 (see llg_batch.cpp for why the width
+// matters) -- and driven for up to a whole thermal-noise block (64 steps)
+// per kernel call, with an early return as soon as any lane's mz crosses
+// the stop plane.
 //
 // Determinism contract: lane l draws its thermal field from its own
 // util::Rng via Rng::normal_fill (the same sampler and order the scalar
@@ -39,6 +39,19 @@ class BatchMacrospinSim {
   /// AVX2 vectors on x86-64), small enough that early-switching lanes do
   /// not leave much dead work before compaction.
   static constexpr std::size_t kDefaultLanes = 8;
+
+  /// Lane-block width of the AVX-512 fast path: 16 lanes fill two
+  /// independent 8-wide zmm dependency chains, which is what makes an
+  /// AVX-512 clone profitable where it is not at 8 lanes (one chain,
+  /// latency-bound). Used when preferred_lanes() selects it.
+  static constexpr std::size_t kAvx512Lanes = 16;
+
+  /// Lane width the batched drivers should default to on this machine:
+  /// kAvx512Lanes when the load-time dispatch has an AVX-512 clone to back
+  /// it (x86-64 GCC build on an avx512f CPU), else kDefaultLanes. Any width
+  /// produces bit-identical results (lane blocking only regroups
+  /// independent trials); this only picks the fastest one.
+  static std::size_t preferred_lanes();
 
   explicit BatchMacrospinSim(const LlgParams& params);
 

@@ -105,15 +105,20 @@ SwitchingStats llg_switching_stats(const dev::MtjDevice& device,
   // trial body in the repo. The batched path advances a whole lane-block
   // per worker in lockstep; folding lane results in lane order keeps the
   // accumulation order identical to the scalar reference, so the two paths
-  // are bit-identical for the same (seed, trials) at any thread count.
-  constexpr std::size_t kLanes = BatchMacrospinSim::kDefaultLanes;
+  // are bit-identical for the same (seed, trials) at any thread count --
+  // and at any lane width, which lets preferred_lanes() pick the widest
+  // kernel this CPU has a clone for. The stack buffers are sized for the
+  // engine maximum, not the chosen width.
+  const std::size_t lane_width = BatchMacrospinSim::preferred_lanes();
+  MRAM_EXPECTS(lane_width <= eng::MonteCarloRunner::kMaxLaneWidth,
+               "preferred lane width exceeds engine maximum");
   const std::uint64_t seed = rng();
   const auto partial = runner.run_batched<SwitchPartial>(
-      trials, seed, kLanes, [&] { return BatchMacrospinSim(llg); },
+      trials, seed, lane_width, [&] { return BatchMacrospinSim(llg); },
       [&](BatchMacrospinSim& batch, util::Rng* rngs, std::size_t,
           std::size_t lanes, SwitchPartial& acc) {
-        Vec3 m0[kLanes];
-        SwitchResult result[kLanes];
+        Vec3 m0[eng::MonteCarloRunner::kMaxLaneWidth];
+        SwitchResult result[eng::MonteCarloRunner::kMaxLaneWidth];
         for (std::size_t l = 0; l < lanes; ++l) {
           m0[l] = thermal_initial_tilt(rngs[l], delta, mz0);
         }

@@ -54,6 +54,10 @@ struct ScorePartial {
     zs.insert(zs.end(), other.zs.begin(), other.zs.end());
     scores.insert(scores.end(), other.scores.begin(), other.scores.end());
   }
+  template <class Ar>
+  void serialize(Ar& ar) {
+    ar(zs, scores);
+  }
 };
 
 }  // namespace

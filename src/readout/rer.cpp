@@ -197,6 +197,10 @@ struct StagePartial {
   void merge(const StagePartial& o) {
     results.insert(results.end(), o.results.begin(), o.results.end());
   }
+  template <class Ar>
+  void serialize(Ar& ar) {
+    ar(results);
+  }
 };
 
 /// Multilevel splitting on the switching coordinate: trajectories are staged

@@ -89,8 +89,9 @@ struct ReadDisturbConfig {
   double dt = 1e-12;      ///< LLG step [s]
   std::size_t trials = 256;
   eng::RunnerConfig runner;
-  std::size_t batch_lanes = dyn::BatchMacrospinSim::kDefaultLanes;
-                          ///< 0 = scalar MacrospinSim reference path
+  std::size_t batch_lanes = dyn::BatchMacrospinSim::preferred_lanes();
+                          ///< widest lane-block this CPU has a SIMD clone
+                          ///< for; 0 = scalar MacrospinSim reference path
   /// Rare-event driver selection on the stochastic-LLG trajectories.
   /// Importance sampling applies a constant mean shift to the thermal
   /// field along the switching direction (exact pathwise likelihood

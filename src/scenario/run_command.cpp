@@ -6,9 +6,44 @@
 #include <ostream>
 
 #include "scenario/result_sink.h"
+#include "util/error.h"
 #include "util/table.h"
 
 namespace mram::scn {
+
+namespace {
+
+/// Per-scenario engine scale-out configuration: its own subdirectory of the
+/// mode's root keeps one sweep directory usable for many scenarios, and the
+/// call numbering restarts at 0 for each (set_shard_io resets the counter).
+eng::ShardIo shard_io_for(const RunCommandOptions& opt,
+                          const std::string& name) {
+  eng::ShardIo io;
+  if (opt.shard.active()) {
+    io.mode = eng::ShardMode::kShard;
+    io.shard = opt.shard;
+    io.dir = opt.partials_dir + "/" + name;
+    std::filesystem::create_directories(io.dir);
+  } else if (opt.merge) {
+    io.mode = eng::ShardMode::kMerge;
+    io.dir = opt.partials_dir + "/" + name;
+    io.merge_count = opt.merge_shards > 0
+                         ? opt.merge_shards
+                         : eng::shard_detail::detect_shard_count(io.dir);
+    if (io.merge_count == 0) {
+      throw util::ConfigError("no shard dumps found under " + io.dir +
+                              " (pass --shards N or re-run the shards)");
+    }
+  } else if (!opt.checkpoint_dir.empty()) {
+    io.mode = eng::ShardMode::kCheckpoint;
+    io.dir = opt.checkpoint_dir + "/" + name;
+    io.resume = opt.resume;
+    std::filesystem::create_directories(io.dir);
+  }
+  return io;
+}
+
+}  // namespace
 
 int run_scenarios(const ScenarioRegistry& registry,
                   const RunCommandOptions& opt, std::ostream& out,
@@ -20,6 +55,16 @@ int run_scenarios(const ScenarioRegistry& registry,
     return 2;
   }
   for (const auto& name : names) registry.at(name);  // fail fast on typos
+  const bool shard_mode = opt.shard.active();
+  if ((shard_mode ? 1 : 0) + (opt.merge ? 1 : 0) +
+          (opt.checkpoint_dir.empty() ? 0 : 1) >
+      1) {
+    throw util::ConfigError(
+        "shard, merge and checkpoint modes are mutually exclusive");
+  }
+  if ((shard_mode || opt.merge) && opt.partials_dir.empty()) {
+    throw util::ConfigError("shard/merge mode needs a partials directory");
+  }
 
   if (!opt.out_dir.empty()) {
     std::filesystem::create_directories(opt.out_dir);
@@ -43,15 +88,38 @@ int run_scenarios(const ScenarioRegistry& registry,
           .count();
     };
     try {
+      const eng::ShardIo io = shard_io_for(opt, name);
+      runner.set_shard_io(io);
       ScenarioContext ctx{.runner = runner};
       ctx.seed = opt.seed;
       ctx.data_dir = opt.data_dir;
       ctx.trial_scale = opt.trial_scale;
       const ResultSet results = scenario.run(ctx);
-      const RunMeta meta{opt.seed, runner.threads(), opt.trial_scale};
-      sink->write(scenario.info, meta, results);
+      if (io.mode == eng::ShardMode::kMerge) {
+        // A shard that executed more runner calls than this replay consumed
+        // ran adaptive, shard-local control flow -- its extra dumps would
+        // silently drop from the merged totals. (Fewer calls than the
+        // replay fails earlier, on the missing dump file.)
+        const auto on_disk = eng::shard_detail::call_count_in_dir(io.dir);
+        if (on_disk > runner.shard_calls()) {
+          throw util::ConfigError(
+              "partials directory " + io.dir + " holds " +
+              std::to_string(on_disk) + " runner calls but the merge " +
+              "replayed " + std::to_string(runner.shard_calls()) +
+              " -- the shards' control flow diverged (data-dependent "
+              "trial counts cannot be sharded)");
+        }
+      }
       const double secs = elapsed();
       total_secs += secs;
+      // Shard mode: the dumps are the product. The shard-local tables would
+      // be computed from this slice's trials alone, so writing them through
+      // the sink would look like (wrong) results; the merge emits the real
+      // ones.
+      if (io.mode != eng::ShardMode::kShard) {
+        const RunMeta meta{opt.seed, runner.threads(), opt.trial_scale};
+        sink->write(scenario.info, meta, results);
+      }
       summary.add_row({name, "ok", std::to_string(results.tables.size()),
                        results.effective_trials > 0.0
                            ? util::format_scientific(results.effective_trials)
@@ -60,7 +128,11 @@ int run_scenarios(const ScenarioRegistry& registry,
                            ? util::format_scientific(results.rel_error)
                            : "-",
                        util::format_double(secs, 2)});
-      if (!opt.out_dir.empty()) {
+      if (io.mode == eng::ShardMode::kShard) {
+        out << "ok   " << name << " (shard " << io.shard.index << "/"
+            << io.shard.count << ", " << runner.shard_calls()
+            << " calls dumped, " << util::format_double(secs, 2) << " s)\n";
+      } else if (!opt.out_dir.empty()) {
         out << "ok   " << name << " (" << results.tables.size()
             << " tables, " << util::format_double(secs, 2) << " s)\n";
       }
@@ -75,13 +147,13 @@ int run_scenarios(const ScenarioRegistry& registry,
   }
   // Per-scenario wall-clock summary, always on `err` so it never corrupts
   // piped csv/json output: scenario-level perf regressions show up here
-  // without rerunning the microbenches.
-  if (names.size() > 1) {
-    summary.print(err,
-                  "run summary (" + util::format_double(total_secs, 2) +
-                      " s total, " + std::to_string(runner.threads()) +
-                      " threads)");
-  }
+  // without rerunning the microbenches. Printed for single-scenario runs
+  // too -- their eff. trials / rel err / wall-clock used to be silently
+  // dropped, and one scenario is the common case when iterating.
+  summary.print(err,
+                "run summary (" + util::format_double(total_secs, 2) +
+                    " s total, " + std::to_string(runner.threads()) +
+                    " threads)");
   if (failures > 0) {
     err << failures << " of " << names.size() << " scenarios failed\n";
     return 1;

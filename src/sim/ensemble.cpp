@@ -18,6 +18,11 @@ struct SamplePartial {
     hs.insert(hs.end(), o.hs.begin(), o.hs.end());
     ecd_meas.insert(ecd_meas.end(), o.ecd_meas.begin(), o.ecd_meas.end());
   }
+
+  template <class Ar>
+  void serialize(Ar& ar) {
+    ar(hs, ecd_meas);
+  }
 };
 
 }  // namespace

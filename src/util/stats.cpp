@@ -103,7 +103,11 @@ double WeightedStats::std_error() const {
 
 double WeightedStats::rel_error() const {
   if (n_ < 2 || mean_ == 0.0) return std::numeric_limits<double>::infinity();
-  return std_error() / mean_;
+  // |mean|: a negative estimate (perfectly legal for signed integrands)
+  // must not yield a negative relative error, which would trivially satisfy
+  // any `rel_err < target` stopping rule and halt an estimator that has not
+  // converged at all.
+  return std_error() / std::abs(mean_);
 }
 
 double WeightedStats::effective_samples() const {
@@ -147,11 +151,19 @@ double probit(double p) {
         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
   }
 
-  // ...then one Halley refinement against erfc brings it to ~1e-15.
-  const double e = 0.5 * std::erfc(-x / std::sqrt(2.0)) - p;
-  const double u = e * std::sqrt(2.0 * 3.14159265358979323846) *
-                   std::exp(x * x / 2.0);
-  x -= u / (1.0 + x * u / 2.0);
+  // ...then one Halley refinement against erfc brings it to ~1e-15. Skipped
+  // in the extreme tails (|x| >~ 37.6, i.e. p below ~1e-308): exp(x*x/2)
+  // overflows to inf there and the erfc residual underflows, so the update
+  // degenerates to inf/NaN and poisons the result. Subset-simulation level
+  // probabilities do land this deep; Acklam's approximation alone is
+  // accurate to ~1e-9 relative, the best meaningfully representable that
+  // far out.
+  if (x * x < 1416.0) {
+    const double e = 0.5 * std::erfc(-x / std::sqrt(2.0)) - p;
+    const double u = e * std::sqrt(2.0 * 3.14159265358979323846) *
+                     std::exp(x * x / 2.0);
+    x -= u / (1.0 + x * u / 2.0);
+  }
   return x;
 }
 

@@ -77,8 +77,10 @@ class WeightedStats {
   /// than two samples.
   double std_error() const;
 
-  /// Relative error std_error()/mean(); +infinity when the mean is zero
-  /// (no weighted hits yet) or fewer than two samples were recorded.
+  /// Relative error std_error()/|mean()|; +infinity when the mean is zero
+  /// (no weighted hits yet) or fewer than two samples were recorded. The
+  /// absolute value keeps the error positive for negative means, so
+  /// `rel_error() < target` stopping rules cannot be satisfied vacuously.
   double rel_error() const;
 
   /// Kish effective sample size (sum w)^2 / sum w^2. Zero when every weight

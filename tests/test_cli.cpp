@@ -1,0 +1,257 @@
+// Exit-code and stderr contract of the scenario command-line tools, driven
+// through scenarios_main/merge_main with stream doubles (no subprocesses).
+// The convention under test: 0 ok, 1 bad value / scenario failure
+// (ConfigError), 2 structural misuse (unknown command/option, run-only flag
+// on list/describe) with the usage text.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/cli.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace mram;
+using namespace mram::scn;
+
+/// Runs scenarios_main and returns {code, stdout, stderr}.
+struct CliResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliResult scenarios(std::vector<std::string> args) {
+  std::ostringstream out, err;
+  const int code = cli::scenarios_main(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+CliResult merge(std::vector<std::string> args) {
+  std::ostringstream out, err;
+  const int code = cli::merge_main(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+// --- parse helpers ----------------------------------------------------------
+
+TEST(CliParse, U64AcceptsDigitsOnly) {
+  EXPECT_EQ(cli::parse_u64("--seed", "0"), 0u);
+  EXPECT_EQ(cli::parse_u64("--seed", "18446744073709551615"),
+            18446744073709551615ull);
+  for (const char* bad : {"", "-3", "+3", "12a", "0x10", " 7",
+                          "99999999999999999999999"}) {
+    EXPECT_THROW(cli::parse_u64("--seed", bad), util::ConfigError) << bad;
+  }
+}
+
+TEST(CliParse, DoubleRejectsTrailingJunkAndNonFinite) {
+  EXPECT_DOUBLE_EQ(cli::parse_double("--trial-scale", "2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(cli::parse_double("--trial-scale", "1e-3"), 1e-3);
+  EXPECT_DOUBLE_EQ(cli::parse_double("--trial-scale", "-0.5"), -0.5);
+  // Regression: std::stod silently accepted every one of these -- "1.5x"
+  // parsed as 1.5, "inf"/"nan"/"1e999" became non-finite trial scales.
+  for (const char* bad :
+       {"1.5x", "x1.5", "", " 2", "2 ", "inf", "-inf", "nan", "1e999"}) {
+    EXPECT_THROW(cli::parse_double("--trial-scale", bad), util::ConfigError)
+        << bad;
+  }
+}
+
+TEST(CliParse, DoubleErrorsNameTheFlag) {
+  try {
+    cli::parse_double("--trial-scale", "1.5x");
+    FAIL() << "expected ConfigError";
+  } catch (const util::ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("--trial-scale"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1.5x"), std::string::npos);
+  }
+}
+
+TEST(CliParse, ThreadsCapped) {
+  EXPECT_EQ(cli::parse_threads("0"), 0u);
+  EXPECT_EQ(cli::parse_threads("1024"), 1024u);
+  EXPECT_THROW(cli::parse_threads("1025"), util::ConfigError);
+}
+
+TEST(CliParse, ShardSpecSyntaxAndBounds) {
+  const auto spec = cli::parse_shard("1/4");
+  EXPECT_EQ(spec.index, 1u);
+  EXPECT_EQ(spec.count, 4u);
+  EXPECT_TRUE(spec.active());
+  for (const char* bad : {"a/b", "1", "4/4", "5/4", "-1/4", "0/0", "1/4/2"}) {
+    EXPECT_THROW(cli::parse_shard(bad), util::ConfigError) << bad;
+  }
+}
+
+// --- mram_scenarios exit codes ----------------------------------------------
+
+TEST(ScenariosCli, NoArgsIsUsageError) {
+  const auto r = scenarios({});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("usage:"), std::string::npos);
+}
+
+TEST(ScenariosCli, HelpPrintsUsageToStdoutAndSucceeds) {
+  for (const char* h : {"help", "--help", "-h"}) {
+    const auto r = scenarios({h});
+    EXPECT_EQ(r.code, 0) << h;
+    EXPECT_NE(r.out.find("usage:"), std::string::npos) << h;
+    EXPECT_TRUE(r.err.empty()) << h;
+  }
+}
+
+TEST(ScenariosCli, UnknownCommandIsUsageError) {
+  const auto r = scenarios({"frobnicate"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown command 'frobnicate'"), std::string::npos);
+}
+
+TEST(ScenariosCli, UnknownOptionIsUsageError) {
+  const auto r = scenarios({"run", "--frobnicate"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown option --frobnicate"), std::string::npos);
+  EXPECT_NE(r.err.find("usage:"), std::string::npos);
+}
+
+TEST(ScenariosCli, ListWithPositionalNameIsUsageError) {
+  EXPECT_EQ(scenarios({"list", "wer_deep"}).code, 2);
+}
+
+TEST(ScenariosCli, RunOnlyFlagsRejectedOnListAndDescribe) {
+  // Regression: list/describe used to silently ignore run options, so
+  // `list --out dir` looked like it worked while writing nothing.
+  for (const char* flag : {"--out", "--threads", "--seed"}) {
+    const auto r = scenarios({"list", flag, "2"});
+    EXPECT_EQ(r.code, 2) << flag;
+    EXPECT_NE(r.err.find(std::string(flag) + " is only valid for `run`"),
+              std::string::npos)
+        << flag;
+  }
+  const auto r = scenarios({"describe", "wer_deep", "--trial-scale", "2"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--trial-scale is only valid for `run`"),
+            std::string::npos);
+}
+
+TEST(ScenariosCli, DescribeWithoutSelectionIsUsageError) {
+  EXPECT_EQ(scenarios({"describe"}).code, 2);
+}
+
+TEST(ScenariosCli, ListSucceedsAndNamesScenarios) {
+  const auto r = scenarios({"list"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("registered scenarios"), std::string::npos);
+  EXPECT_NE(r.out.find("wer_deep"), std::string::npos);
+}
+
+TEST(ScenariosCli, MissingOptionValueIsAnError) {
+  const auto r = scenarios({"run", "wer_deep", "--seed"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("missing value after --seed"), std::string::npos);
+}
+
+TEST(ScenariosCli, BadTrialScaleIsAnError) {
+  // Regression: these all slipped through std::stod before parse_double.
+  for (const char* bad : {"1.5x", "inf", "nan", "1e999"}) {
+    const auto r = scenarios({"run", "wer_deep", "--trial-scale", bad});
+    EXPECT_EQ(r.code, 1) << bad;
+    EXPECT_NE(r.err.find("--trial-scale"), std::string::npos) << bad;
+  }
+  const auto r = scenarios({"run", "wer_deep", "--trial-scale", "-1"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--trial-scale must be positive"), std::string::npos);
+  EXPECT_EQ(scenarios({"run", "wer_deep", "--trial-scale", "0"}).code, 1);
+}
+
+TEST(ScenariosCli, BadShardSpecIsAnError) {
+  for (const char* bad : {"a/b", "4/4", "1"}) {
+    const auto r =
+        scenarios({"run", "wer_deep", "--shard", bad, "--partials", "/tmp/x"});
+    EXPECT_EQ(r.code, 1) << bad;
+    EXPECT_NE(r.err.find("shard"), std::string::npos) << bad;
+  }
+}
+
+TEST(ScenariosCli, ShardModeFlagCoupling) {
+  auto r = scenarios({"run", "wer_deep", "--shard", "0/2"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--shard requires --partials"), std::string::npos);
+
+  r = scenarios({"run", "wer_deep", "--partials", "/tmp/x"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--partials only makes sense with --shard"),
+            std::string::npos);
+
+  r = scenarios({"run", "wer_deep", "--shard", "0/2", "--partials", "/tmp/x",
+                 "--checkpoint", "/tmp/y"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("mutually exclusive"), std::string::npos);
+
+  r = scenarios({"run", "wer_deep", "--resume"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--resume requires --checkpoint"), std::string::npos);
+}
+
+TEST(ScenariosCli, UnknownScenarioNameIsAnError) {
+  const auto r = scenarios({"run", "no_such_scenario"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown scenario 'no_such_scenario'"),
+            std::string::npos);
+}
+
+TEST(ScenariosCli, AllCannotCombineWithNames) {
+  const auto r = scenarios({"run", "--all", "wer_deep"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--all cannot be combined"), std::string::npos);
+}
+
+// --- mram_merge exit codes --------------------------------------------------
+
+TEST(MergeCli, NoArgsIsUsageError) {
+  const auto r = merge({});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("usage:"), std::string::npos);
+}
+
+TEST(MergeCli, HelpSucceeds) {
+  const auto r = merge({"--help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("mram_merge"), std::string::npos);
+}
+
+TEST(MergeCli, RequiresPartialsDir) {
+  const auto r = merge({"wer_deep"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("requires --partials"), std::string::npos);
+}
+
+TEST(MergeCli, ShardFlagBelongsToTheScenarioTool) {
+  // --shard/--checkpoint/--resume shape a *run*; the merge tool takes
+  // --shards N instead, so the run flags are unknown options here.
+  const auto r = merge({"wer_deep", "--partials", "/tmp/x", "--shard", "0/2"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown option --shard"), std::string::npos);
+}
+
+TEST(MergeCli, ZeroShardsIsAnError) {
+  const auto r = merge({"wer_deep", "--partials", "/tmp/x", "--shards", "0"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--shards must be positive"), std::string::npos);
+}
+
+TEST(MergeCli, EmptyPartialsDirFailsWithGuidance) {
+  // A merge pointed at a directory with no dumps must say so, not succeed
+  // with zero trials.
+  const auto r = merge({"wer_deep", "--partials",
+                        "/tmp/mram_cli_definitely_missing_dir"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("no shard dumps found"), std::string::npos);
+}
+
+}  // namespace

@@ -236,6 +236,26 @@ TEST(BatchLlg, BitIdenticalAtOddLaneCountsAndB1) {
   }
 }
 
+TEST(BatchLlg, BitIdenticalAtSixteenLanes) {
+  // Full 16-lane blocks route through the AVX-512 clone of the kernel when
+  // the host supports it (and the AVX2/default clone otherwise); either way
+  // the results must stay bitwise equal to the scalar reference, because
+  // lane widening only regroups independent lanes.
+  static_assert(BatchMacrospinSim::kAvx512Lanes == 16);
+  const auto p = thermal_driven_params();
+  expect_batch_matches_scalar(p, BatchMacrospinSim::kAvx512Lanes, 8e-9, 2e-13,
+                              42);
+  // 17 lanes: one full 16-block plus a 1-lane remainder in the same call.
+  expect_batch_matches_scalar(p, 17, 3e-9, 2e-13, 77);
+}
+
+TEST(BatchLlg, PreferredLanesIsASupportedWidth) {
+  const std::size_t lanes = BatchMacrospinSim::preferred_lanes();
+  EXPECT_TRUE(lanes == BatchMacrospinSim::kDefaultLanes ||
+              lanes == BatchMacrospinSim::kAvx512Lanes)
+      << lanes;
+}
+
 TEST(BatchLlg, BitIdenticalDeterministicNoThermalField) {
   // temperature = 0: no rng draws at all; the pure SoA arithmetic must
   // still replay the scalar path exactly.

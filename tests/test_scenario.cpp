@@ -344,7 +344,7 @@ ScenarioRegistry tiny_registry() {
 
 TEST(RunCommand, SummaryTableHasOneRowPerScenario) {
   // The stderr per-scenario timing table: parses as one row per scenario
-  // with its status, and only appears for multi-scenario runs.
+  // with its status.
   const auto registry = tiny_registry();
   RunCommandOptions opt;
   opt.names = {"tiny_alpha", "tiny_beta"};
@@ -393,14 +393,19 @@ TEST(RunCommand, SummaryReportsEstimatorQualityColumns) {
   EXPECT_EQ(table_rows_mentioning(log, "-"), 1u);  // only tiny_alpha's row
 }
 
-TEST(RunCommand, SingleScenarioSkipsTheSummary) {
+TEST(RunCommand, SingleScenarioStillPrintsTheSummary) {
+  // Regression: the summary used to be gated on names.size() > 1, silently
+  // dropping eff. trials / rel err / wall-clock for single-scenario runs --
+  // the common case when iterating on one scenario.
   const auto registry = tiny_registry();
   RunCommandOptions opt;
   opt.names = {"tiny_alpha"};
   opt.format = "csv";
   std::ostringstream out, err;
   EXPECT_EQ(run_scenarios(registry, opt, out, err), 0);
-  EXPECT_EQ(err.str().find("run summary"), std::string::npos);
+  const std::string log = err.str();
+  EXPECT_NE(log.find("run summary"), std::string::npos);
+  EXPECT_EQ(table_rows_mentioning(log, "tiny_alpha"), 1u);
 }
 
 TEST(RunCommand, FailuresSetTheExitCodeAndSummaryStatus) {

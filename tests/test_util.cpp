@@ -330,6 +330,77 @@ TEST(Stats, WilsonIntervalProperties) {
   EXPECT_THROW(wilson_interval(5, 4), ContractViolation);
 }
 
+TEST(Stats, ProbitRoundTripAndSymmetry) {
+  // Moderate range: the Halley-refined value inverts the normal CDF to
+  // near machine precision.
+  for (double p : {0.001, 0.02425, 0.1, 0.5, 0.9, 0.97575, 0.999}) {
+    const double x = probit(p);
+    EXPECT_NEAR(0.5 * std::erfc(-x / std::sqrt(2.0)), p, 1e-14 + 1e-12 * p)
+        << "p=" << p;
+    // Near-antisymmetric (the two tail branches differ in the last ulps).
+    EXPECT_NEAR(probit(1.0 - p), -x, 1e-13 * (1.0 + std::abs(x)))
+        << "p=" << p;
+  }
+  EXPECT_DOUBLE_EQ(probit(0.5), 0.0);
+  EXPECT_TRUE(std::isinf(probit(0.0)));
+  EXPECT_TRUE(std::isinf(probit(1.0)));
+}
+
+TEST(Stats, ProbitExtremeTailStaysFinite) {
+  // Regression: the Halley refinement computes exp(x*x/2), which overflows
+  // for |x| >~ 37.6 (p below ~1e-308) and used to turn the deep tail into
+  // NaN. Subset-simulation level probabilities land this deep.
+  for (double p : {1e-300, 1e-308, 5e-310, 1e-315, 5e-324}) {
+    const double x = probit(p);
+    EXPECT_TRUE(std::isfinite(x)) << "p=" << p;
+    EXPECT_LT(x, -37.0) << "p=" << p;
+    EXPECT_GT(x, -45.0) << "p=" << p;
+  }
+  // Monotonicity must survive the refined/unrefined seam near p ~ 1e-308.
+  double prev = probit(1e-320);
+  for (double p : {1e-315, 1e-310, 1e-308, 1e-306, 1e-300, 1e-200}) {
+    const double x = probit(p);
+    EXPECT_LT(prev, x) << "p=" << p;
+    prev = x;
+  }
+}
+
+TEST(Stats, WeightedStatsMomentsAndEffectiveSamples) {
+  WeightedStats ws;
+  ws.add(0.0, 0.0);  // a miss
+  ws.add(1.0, 0.5);  // weighted hits
+  ws.add(1.0, 0.25);
+  EXPECT_EQ(ws.count(), 3u);
+  EXPECT_DOUBLE_EQ(ws.mean(), 0.25);  // (0 + 0.5 + 0.25) / 3
+  EXPECT_DOUBLE_EQ(ws.sum_weight(), 0.75);
+  EXPECT_GT(ws.effective_samples(), 0.0);
+  EXPECT_GT(ws.rel_error(), 0.0);
+}
+
+TEST(Stats, WeightedStatsRelErrorIsPositiveForNegativeMean) {
+  // Regression: rel_error() used to divide by the signed mean, so a
+  // negative estimate (legal for signed integrands) reported a *negative*
+  // relative error -- vacuously below every `rel_err < target` stopping
+  // threshold, halting estimators that had not converged at all.
+  WeightedStats ws;
+  ws.add(-1.0, 1.0);
+  ws.add(-2.0, 1.0);
+  ws.add(-4.0, 1.0);
+  ASSERT_LT(ws.mean(), 0.0);
+  EXPECT_GT(ws.rel_error(), 0.0);
+  EXPECT_TRUE(std::isfinite(ws.rel_error()));
+  // Sign-flipped samples give the identical relative error.
+  WeightedStats pos;
+  pos.add(1.0, 1.0);
+  pos.add(2.0, 1.0);
+  pos.add(4.0, 1.0);
+  EXPECT_DOUBLE_EQ(ws.rel_error(), pos.rel_error());
+  // Degenerate cases stay +inf, never negative.
+  WeightedStats empty;
+  EXPECT_TRUE(std::isinf(empty.rel_error()));
+  EXPECT_GT(empty.rel_error(), 0.0);
+}
+
 // --- table ------------------------------------------------------------------
 
 TEST(Table, AlignedTextOutput) {

@@ -1,0 +1,28 @@
+// mram_merge: folds the per-chunk partial dumps written by N sharded
+// `mram_scenarios run --shard I/N --partials DIR` processes into final
+// scenario results.
+//
+//   mram_merge --partials DIR [--shards N] <name> [<name>...] | --all
+//              [--threads N] [--seed S] [--format table|csv|json]
+//              [--out DIR] [--data DIR] [--trial-scale X]
+//
+// The merge is a replay: it re-runs each scenario with the engine in merge
+// mode, where every runner call loads its shard dumps (validating the run
+// geometry recorded in their headers against the one the call would use
+// itself) and folds the per-chunk partials in global chunk order -- the
+// exact reduction the single-process run performs, so every emitted table
+// and CSV is byte-identical to it. Run options that shape the replay
+// (--seed, --trial-scale, --data) must therefore match the shard runs;
+// mismatches fail loudly on the header check. --shards defaults to the
+// count detected from the dump file names.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "scenario/cli.h"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return mram::scn::cli::merge_main(args, std::cout, std::cerr);
+}

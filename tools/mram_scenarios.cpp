@@ -7,6 +7,8 @@
 //   mram_scenarios run <name> [<name>...] | --all
 //                  [--threads N] [--seed S] [--format table|csv|json]
 //                  [--out DIR] [--data DIR] [--trial-scale X]
+//                  [--shard I/N --partials DIR]
+//                  [--checkpoint DIR [--resume]]
 //
 // `--figure TAG` filters by the figure tag, case-insensitive substring
 // (e.g. `list --figure readout`, `describe --figure Memory`), keeping the
@@ -16,202 +18,21 @@
 // files (csv: one per table; json/table: one per scenario) and a one-line
 // status per scenario goes to stdout. The exit code is non-zero when any
 // requested scenario fails.
+//
+// Scale-out: `--shard I/N --partials DIR` runs only shard I's slice of the
+// trials and dumps per-chunk partials under DIR (fold the N dumps with
+// `mram_merge` -- byte-identical to the single-process run); `--checkpoint
+// DIR` snapshots progress so a killed run repeated with `--resume` finishes
+// with byte-identical output. The implementation lives in
+// src/scenario/cli.cpp so tests can drive it without spawning processes.
 
-#include <algorithm>
-#include <cstdint>
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include "scenario/registry.h"
-#include "scenario/run_command.h"
-#include "util/error.h"
-#include "util/table.h"
-
-namespace {
-
-using namespace mram;
-
-std::uint64_t parse_u64(const std::string& flag, const std::string& s) {
-  if (s.empty() ||
-      s.find_first_not_of("0123456789") != std::string::npos) {
-    throw util::ConfigError(flag + " expects a non-negative integer, got '" +
-                            s + "'");
-  }
-  try {
-    return std::stoull(s);
-  } catch (const std::exception&) {
-    throw util::ConfigError(flag + " value '" + s + "' is out of range");
-  }
-}
-
-unsigned parse_threads(const std::string& s) {
-  const std::uint64_t n = parse_u64("--threads", s);
-  if (n > 1024) {
-    throw util::ConfigError("--threads " + s +
-                            " is absurd (max 1024; 0 = all cores)");
-  }
-  return static_cast<unsigned>(n);
-}
-
-int usage(std::ostream& os, int code) {
-  os << "usage:\n"
-        "  mram_scenarios list [--figure TAG]\n"
-        "  mram_scenarios describe <name> [<name>...] | --figure TAG\n"
-        "  mram_scenarios run <name> [<name>...] | --all\n"
-        "                 [--threads N] [--seed S]\n"
-        "                 [--format table|csv|json] [--out DIR]\n"
-        "                 [--data DIR] [--trial-scale X]\n";
-  return code;
-}
-
-/// Scenario names selected by explicit list and/or --figure tag, sorted
-/// and deduplicated (a scenario both matching the tag and named explicitly
-/// is selected once). An unknown figure tag (no match) is an error so
-/// typos do not silently select nothing.
-std::vector<std::string> select_names(const scn::ScenarioRegistry& registry,
-                                      const std::vector<std::string>& names,
-                                      const std::string& figure,
-                                      bool default_all) {
-  std::vector<std::string> selected = names;
-  if (!figure.empty()) {
-    const auto matched = registry.names_by_figure(figure);
-    if (matched.empty()) {
-      throw util::ConfigError("no scenario has a figure tag matching '" +
-                              figure + "' (see `mram_scenarios list`)");
-    }
-    selected.insert(selected.end(), matched.begin(), matched.end());
-  }
-  std::sort(selected.begin(), selected.end());
-  selected.erase(std::unique(selected.begin(), selected.end()),
-                 selected.end());
-  if (selected.empty() && default_all) return registry.names();
-  return selected;
-}
-
-int cmd_list(const std::string& figure) {
-  const auto& registry = scn::ScenarioRegistry::global();
-  const auto names = select_names(registry, {}, figure, true);
-  util::Table t({"name", "figure", "summary"});
-  for (const auto& name : names) {
-    const auto& info = registry.at(name).info;
-    t.add_row({info.name, info.figure, info.summary});
-  }
-  const std::string caption =
-      figure.empty()
-          ? std::to_string(registry.size()) + " registered scenarios"
-          : std::to_string(names.size()) + " of " +
-                std::to_string(registry.size()) +
-                " scenarios matching figure '" + figure + "'";
-  t.print(std::cout, caption);
-  return 0;
-}
-
-int cmd_describe(const std::vector<std::string>& names,
-                 const std::string& figure) {
-  const auto& registry = scn::ScenarioRegistry::global();
-  const auto selected = select_names(registry, names, figure, false);
-  if (selected.empty()) return usage(std::cerr, 2);
-  bool first = true;
-  for (const auto& name : selected) {
-    const auto& info = registry.at(name).info;
-    if (!first) std::cout << "\n";
-    first = false;
-    std::cout << info.name << " (" << info.figure << ")\n"
-              << info.summary << "\n\n"
-              << info.details << "\n";
-    if (!info.params.empty()) {
-      util::Table t({"parameter", "value", "description"});
-      for (const auto& p : info.params) {
-        t.add_row({p.name, p.value, p.description});
-      }
-      t.print(std::cout, "parameters");
-    }
-  }
-  return 0;
-}
-
-}  // namespace
+#include "scenario/cli.h"
 
 int main(int argc, char** argv) {
   const std::vector<std::string> args(argv + 1, argv + argc);
-  try {
-    if (args.empty()) return usage(std::cerr, 2);
-    const std::string& command = args[0];
-    if (command == "help" || command == "--help" || command == "-h") {
-      return usage(std::cout, 0);
-    }
-
-    // Shared trailing-argument parsing: positional names plus options.
-    // Run-only options are remembered so list/describe can reject them
-    // instead of silently ignoring them.
-    std::vector<std::string> names;
-    std::string figure;
-    std::string run_only_option;
-    scn::RunCommandOptions opt;
-    for (std::size_t i = 1; i < args.size(); ++i) {
-      const std::string& a = args[i];
-      auto value = [&]() -> const std::string& {
-        if (++i >= args.size()) {
-          throw util::ConfigError("missing value after " + a);
-        }
-        return args[i];
-      };
-      if (a == "--figure") {
-        figure = value();
-        continue;
-      }
-      if (!a.empty() && a[0] == '-') run_only_option = a;
-      if (a == "--all") {
-        opt.all = true;
-      } else if (a == "--threads") {
-        opt.threads = parse_threads(value());
-      } else if (a == "--seed") {
-        opt.seed = parse_u64("--seed", value());
-      } else if (a == "--format") {
-        opt.format = value();
-      } else if (a == "--out") {
-        opt.out_dir = value();
-      } else if (a == "--data") {
-        opt.data_dir = value();
-      } else if (a == "--trial-scale") {
-        opt.trial_scale = std::stod(value());
-        if (!(opt.trial_scale > 0.0)) {
-          throw util::ConfigError("--trial-scale must be positive");
-        }
-      } else if (!a.empty() && a[0] == '-') {
-        std::cerr << "unknown option " << a << "\n";
-        return usage(std::cerr, 2);
-      } else {
-        names.push_back(a);
-      }
-    }
-    if (command != "run" && !run_only_option.empty()) {
-      std::cerr << run_only_option << " is only valid for `run`\n";
-      return usage(std::cerr, 2);
-    }
-
-    if (command == "list") {
-      if (!names.empty()) return usage(std::cerr, 2);
-      return cmd_list(figure);
-    }
-    if (command == "describe") {
-      if (names.empty() && figure.empty()) return usage(std::cerr, 2);
-      return cmd_describe(names, figure);
-    }
-    if (command == "run") {
-      if (opt.all && (!names.empty() || !figure.empty())) {
-        throw util::ConfigError(
-            "--all cannot be combined with scenario names or --figure");
-      }
-      const auto& registry = scn::ScenarioRegistry::global();
-      opt.names = select_names(registry, names, figure, false);
-      return scn::run_scenarios(registry, opt, std::cout, std::cerr);
-    }
-    std::cerr << "unknown command '" << command << "'\n";
-    return usage(std::cerr, 2);
-  } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    return 1;
-  }
+  return mram::scn::cli::scenarios_main(args, std::cout, std::cerr);
 }
