@@ -4,10 +4,10 @@
 // speedup of the MonteCarloRunner on this machine and checks that the
 // statistics are bit-identical across thread counts for a fixed seed.
 
-#include <chrono>
 #include <iostream>
 
 #include "mram/wer.h"
+#include "obs/stopwatch.h"
 #include "scenario/compat.h"
 #include "util/table.h"
 #include "util/units.h"
@@ -16,16 +16,15 @@ namespace {
 
 double seconds_for(const mram::mem::WerConfig& cfg, unsigned threads,
                    mram::mem::WerResult* out) {
-  using clock = std::chrono::steady_clock;
   // Pool spawn and shared setup stay outside the timed window: the column
   // measures trial throughput, not thread creation.
   mram::eng::RunnerConfig runner_cfg = cfg.runner;
   runner_cfg.threads = threads;
   mram::eng::MonteCarloRunner runner(runner_cfg);
   mram::util::Rng rng(9001);  // same seed per thread count: results must match
-  const auto start = clock::now();
+  const mram::obs::Stopwatch watch;
   *out = mram::mem::measure_wer(cfg, rng, runner);
-  return std::chrono::duration<double>(clock::now() - start).count();
+  return watch.seconds();
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <type_traits>
 
 #include "dynamics/llg_heun_step.h"
+#include "obs/metrics.h"
 #include "util/constants.h"
 #include "util/error.h"
 
@@ -171,10 +172,13 @@ MRAM_NOINLINE MRAM_SIMD_CLONES_W16 std::size_t step_lanes_block_w16(
 }  // namespace
 
 std::size_t BatchMacrospinSim::preferred_lanes() {
+  std::size_t lanes = kDefaultLanes;
 #if MRAM_HAS_AVX512_DISPATCH
-  if (__builtin_cpu_supports("avx512f")) return kAvx512Lanes;
+  if (__builtin_cpu_supports("avx512f")) lanes = kAvx512Lanes;
 #endif
-  return kDefaultLanes;
+  obs::gauge_set(obs::Gauge::kLlgPreferredLanes,
+                 static_cast<double>(lanes));
+  return lanes;
 }
 
 void BatchMacrospinSim::run_until_switch(std::size_t lanes, const Vec3* m0,
@@ -194,6 +198,7 @@ void BatchMacrospinSim::run_until_switch(std::size_t lanes, const Vec3* m0,
                                          const Vec3& tilt) {
   MRAM_EXPECTS(dt > 0.0, "invalid integration step");
   MRAM_EXPECTS(lanes > 0, "need at least one lane");
+  obs::counter_add(obs::Counter::kLlgLanesEntered, lanes);
 
   mx_.resize(lanes);
   my_.resize(lanes);
@@ -323,17 +328,20 @@ void BatchMacrospinSim::run_until_switch(std::size_t lanes, const Vec3* m0,
       constexpr bool kT = decltype(torque)::value;
       constexpr bool kW = decltype(tilted)::value;
       if (n_active == kDefaultLanes) {
+        obs::counter_add(obs::Counter::kLlgBlocksW8);
         return step_lanes_block_w8<kT, kW>(
             remaining, h_stride, mx_.data(), my_.data(), mz_.data(), hxm,
             hym, hzm, sign_.data(), crossed_.data(), logw_.data(), coeffs,
             wcoeffs, mz_stop);
       }
       if (n_active == kAvx512Lanes) {
+        obs::counter_add(obs::Counter::kLlgBlocksW16);
         return step_lanes_block_w16<kT, kW>(
             remaining, h_stride, mx_.data(), my_.data(), mz_.data(), hxm,
             hym, hzm, sign_.data(), crossed_.data(), logw_.data(), coeffs,
             wcoeffs, mz_stop);
       }
+      obs::counter_add(obs::Counter::kLlgBlocksGeneric);
       return step_lanes_block<kT, kW>(n_active, remaining, h_stride,
                                       mx_.data(), my_.data(), mz_.data(),
                                       hxm, hym, hzm, sign_.data(),
@@ -346,6 +354,13 @@ void BatchMacrospinSim::run_until_switch(std::size_t lanes, const Vec3* m0,
     };
     const std::size_t done = has_torque ? dispatch(std::true_type{})
                                         : dispatch(std::false_type{});
+    // Occupancy bookkeeping: lane-steps actually executed vs the capacity
+    // the entry width would have given (the compaction-efficiency ratio).
+    obs::counter_add(obs::Counter::kLlgNoiseBlocks);
+    obs::counter_add(obs::Counter::kLlgLaneSteps,
+                     static_cast<std::uint64_t>(done) * n_active);
+    obs::counter_add(obs::Counter::kLlgLaneStepCapacity,
+                     static_cast<std::uint64_t>(done) * lanes);
     for (std::size_t s = 0; s < done; ++s) t += dt;
     steps_done += done;
     if (sigma > 0.0) phase = (phase + done) % kNoiseBlockSteps;
@@ -364,6 +379,7 @@ void BatchMacrospinSim::run_until_switch(std::size_t lanes, const Vec3* m0,
     for (std::size_t a = 0; a < n_active; ++a) {
       const std::size_t l = lane_of_[a];
       if (crossed_[a] != 0.0) {
+        obs::counter_add(obs::Counter::kLlgLanesEarlyExit);
         out[l] = {true, t, logw_[a], {mx_[a], my_[a], mz_[a]}};
         continue;
       }

@@ -2,12 +2,17 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <filesystem>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "engine/shard.h"
 #include "engine/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/stopwatch.h"
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/rng.h"
 #include "util/serialize.h"
@@ -115,6 +120,10 @@ class MonteCarloRunner {
             std::vector<Partial>& partials) {
           pool_.for_each(hi_chunk - lo_chunk, [&](std::size_t k) {
             const std::size_t ci = lo_chunk + k;
+            obs::ChunkScope scope(chunk_block(k));
+            obs::TraceSpan span("engine", [ci] {
+              return "chunk " + std::to_string(ci);
+            });
             auto context = make_context();
             Partial acc;
             const std::size_t lo = ci * chunk;
@@ -124,6 +133,8 @@ class MonteCarloRunner {
               trial(context, rng, i, acc);
             }
             partials[k] = std::move(acc);
+            scope.finish(hi - lo);
+            obs::progress_add_trials(hi - lo);
           });
         });
   }
@@ -168,6 +179,10 @@ class MonteCarloRunner {
             std::vector<Partial>& partials) {
           pool_.for_each(hi_chunk - lo_chunk, [&](std::size_t k) {
             const std::size_t ci = lo_chunk + k;
+            obs::ChunkScope scope(chunk_block(k));
+            obs::TraceSpan span("engine", [ci] {
+              return "chunk " + std::to_string(ci);
+            });
             auto context = make_context();
             Partial acc;
             const std::size_t lo = ci * chunk;
@@ -182,8 +197,12 @@ class MonteCarloRunner {
                 rngs[l] = util::Rng::stream(seed, base + l);
               }
               batch(context, rngs, base, lanes, acc);
+              obs::counter_add(obs::Counter::kEngineBatchBlocks);
+              obs::counter_add(obs::Counter::kEngineBatchLanes, lanes);
             }
             partials[k] = std::move(acc);
+            scope.finish(hi - lo);
+            obs::progress_add_trials(hi - lo);
           });
         });
   }
@@ -206,6 +225,64 @@ class MonteCarloRunner {
  private:
   static constexpr std::size_t kTargetChunks = 64;
 
+  /// Per-runner-call observability: counts the call, stamps the config
+  /// gauges, announces the trial total to the progress gate, opens the
+  /// call-level trace span, and -- on destruction -- records the call's
+  /// wall time (counter + histogram). Everything is branch-on-null when no
+  /// sink is installed; nothing here touches the chunking or the streams.
+  class CallObserver {
+   public:
+    CallObserver(const MonteCarloRunner& runner, std::uint64_t call,
+                 std::size_t trials, std::size_t chunk, std::size_t n_chunks)
+        : armed_(obs::metrics_enabled()),
+          span_("engine", [&] {
+            return "call " + std::to_string(call) + " (" +
+                   std::to_string(trials) + " trials)";
+          }) {
+      obs::counter_add(obs::Counter::kEngineCalls);
+      obs::gauge_set(obs::Gauge::kEngineThreads, runner.threads());
+      obs::gauge_set(obs::Gauge::kEngineChunkSize,
+                     static_cast<double>(chunk));
+      // In shard mode only this shard's chunk slice executes; size the
+      // progress bar to what will actually run (0 for merge replays, which
+      // execute nothing).
+      std::size_t progress_trials = trials;
+      if (runner.io_.mode == ShardMode::kShard) {
+        const auto [plo, phi] = runner.io_.shard.chunk_range(n_chunks);
+        const std::size_t lo_t = std::min(plo * chunk, trials);
+        const std::size_t hi_t = std::min(phi * chunk, trials);
+        progress_trials = hi_t - lo_t;
+      } else if (runner.io_.mode == ShardMode::kMerge) {
+        progress_trials = 0;
+      }
+      obs::progress_begin_call(progress_trials);
+      if (armed_) sw_.reset();
+    }
+
+    ~CallObserver() {
+      if (armed_) {
+        const std::uint64_t ns = sw_.nanos();
+        obs::counter_add(obs::Counter::kEngineWallNanos, ns);
+        obs::hist_record(obs::Hist::kEngineCallNanos, ns);
+      }
+    }
+
+    CallObserver(const CallObserver&) = delete;
+    CallObserver& operator=(const CallObserver&) = delete;
+
+   private:
+    bool armed_;
+    obs::TraceSpan span_;
+    obs::Stopwatch sw_;
+  };
+
+  /// Accumulation target for fan-out index k, or null when metrics are off
+  /// (chunk_blocks_ is sized by run_chunks' instrumented executor before
+  /// each fan-out and left empty when no registry is installed).
+  obs::MetricsBlock* chunk_block(std::size_t k) {
+    return chunk_blocks_.empty() ? nullptr : &chunk_blocks_[k];
+  }
+
   /// Shared tail of run()/run_batched(): mode dispatch around the chunk
   /// executor. `exec(lo_chunk, hi_chunk, partials)` fans chunks
   /// [lo_chunk, hi_chunk) out over the pool, writing the partial of chunk
@@ -216,9 +293,27 @@ class MonteCarloRunner {
   Partial run_chunks(std::size_t trials, std::size_t chunk,
                      std::size_t n_chunks, std::uint64_t seed, Exec&& exec) {
     const std::uint64_t call = call_counter_++;
+    const CallObserver observe(*this, call, trials, chunk, n_chunks);
+    // Wrap the chunk executor so each fan-out sizes the per-chunk metric
+    // blocks first and folds them -- strictly in chunk order, on this
+    // thread -- after the pool drains. With no registry installed the
+    // vector stays empty and every chunk gets a null block (no-op scope).
+    auto instrumented = [&](std::size_t lo_chunk, std::size_t hi_chunk,
+                            std::vector<Partial>& partials) {
+      if (obs::metrics_enabled()) {
+        chunk_blocks_.assign(hi_chunk - lo_chunk, obs::MetricsBlock{});
+      } else {
+        chunk_blocks_.clear();
+      }
+      exec(lo_chunk, hi_chunk, partials);
+      if (obs::Registry* r = obs::registry()) {
+        for (const auto& b : chunk_blocks_) r->merge_block(b);
+      }
+      chunk_blocks_.clear();
+    };
     if (io_.mode == ShardMode::kOff) {
       std::vector<Partial> partials(n_chunks);
-      exec(0, n_chunks, partials);
+      instrumented(0, n_chunks, partials);
       // Deterministic order-independent reduction: chunk order, not
       // completion order.
       Partial total;
@@ -239,11 +334,11 @@ class MonteCarloRunner {
       want.seed = seed;
       switch (io_.mode) {
         case ShardMode::kShard:
-          return run_shard<Partial>(want, exec);
+          return run_shard<Partial>(want, instrumented);
         case ShardMode::kMerge:
           return run_merge<Partial>(want);
         default:
-          return run_checkpoint<Partial>(want, exec);
+          return run_checkpoint<Partial>(want, instrumented);
       }
     }
   }
@@ -259,12 +354,21 @@ class MonteCarloRunner {
     if (hi > lo) exec(lo, hi, partials);
     want.chunk_lo = lo;
     want.chunk_hi = hi;
-    shard_detail::AtomicFile file(shard_detail::shard_file(
-        io_.dir, want.call, io_.shard.index, io_.shard.count));
-    shard_detail::write_header(file.stream(), want);
-    util::io::BinWriter writer(file.stream());
-    for (auto& p : partials) writer(p);
-    file.commit();
+    {
+      obs::ScopedHist dump_timer(obs::Hist::kShardDumpNanos);
+      shard_detail::AtomicFile file(shard_detail::shard_file(
+          io_.dir, want.call, io_.shard.index, io_.shard.count));
+      shard_detail::write_header(file.stream(), want);
+      util::io::BinWriter writer(file.stream());
+      for (auto& p : partials) writer(p);
+      const auto dumped = file.stream().tellp();
+      file.commit();
+      obs::counter_add(obs::Counter::kShardDumpCalls);
+      if (dumped > 0) {
+        obs::counter_add(obs::Counter::kShardDumpBytes,
+                         static_cast<std::uint64_t>(dumped));
+      }
+    }
     Partial total;
     for (auto& p : partials) total.merge(p);
     return total;
@@ -277,10 +381,20 @@ class MonteCarloRunner {
   /// their chunks in file order IS the single-process fold.
   template <class Partial>
   Partial run_merge(const shard_detail::CallHeader& want) {
+    obs::ScopedHist merge_timer(obs::Hist::kShardMergeNanos);
+    obs::counter_add(obs::Counter::kShardMergeCalls);
     Partial total;
     for (std::size_t s = 0; s < io_.merge_count; ++s) {
       const std::string path =
           shard_detail::shard_file(io_.dir, want.call, s, io_.merge_count);
+      if (obs::metrics_enabled()) {
+        std::error_code ec;
+        const auto bytes = std::filesystem::file_size(path, ec);
+        if (!ec) {
+          obs::counter_add(obs::Counter::kShardMergeBytes,
+                           static_cast<std::uint64_t>(bytes));
+        }
+      }
       std::ifstream is = shard_detail::open_dump(path);
       const auto got = shard_detail::read_header(is, path);
       shard_detail::check_header(got, want, path);
@@ -383,6 +497,11 @@ class MonteCarloRunner {
   ThreadPool pool_;
   ShardIo io_;
   std::uint64_t call_counter_ = 0;
+  /// Per-chunk metric blocks of the fan-out in flight (one per chunk in
+  /// [lo_chunk, hi_chunk), indexed by k). Sized on the caller thread before
+  /// the pool starts, each element written by exactly one worker, folded in
+  /// chunk order after for_each returns; empty whenever metrics are off.
+  std::vector<obs::MetricsBlock> chunk_blocks_;
 };
 
 }  // namespace mram::eng

@@ -116,7 +116,9 @@ RareEventEstimate subset_simulation(
               prop[d] = rho * cur[d] + beta * prop[d];
             }
             const double s = score(prop);
+            obs::counter_add(obs::Counter::kRareMcmcProposals);
             if (s >= level) {
+              obs::counter_add(obs::Counter::kRareMcmcAccepts);
               std::copy_n(prop, dim, cur);
               cur_score = s;
             }
@@ -142,6 +144,10 @@ RareEventEstimate subset_simulation(
     const double g = first ? 1.0 : 3.0;
     delta2 += g * (1.0 - phat) / (dN * phat);
     est.level_probabilities.push_back(phat);
+    obs::counter_add(obs::Counter::kRareSplitLevels);
+    obs::series_append("rare.split.level_p",
+                       static_cast<double>(est.level_probabilities.size()),
+                       phat);
   };
 
   if (cfg.levels.empty()) {

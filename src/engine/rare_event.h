@@ -168,6 +168,11 @@ RareEventEstimate importance_rounds(MonteCarloRunner& runner,
                                               trial);
     total.merge(ws);
     ++rounds;
+    obs::counter_add(obs::Counter::kRareIsRounds);
+    obs::series_append("rare.is.ess", static_cast<double>(rounds),
+                       total.effective_samples());
+    obs::series_append("rare.is.rel_error", static_cast<double>(rounds),
+                       total.rel_error());
     if (total.rel_error() <= cfg.target_rel_error) break;
   }
   auto est = importance_estimate(total);
@@ -197,6 +202,11 @@ RareEventEstimate importance_rounds_batched(MonteCarloRunner& runner,
         batch, derive_seed(seed, r), lane_width, make_context, fn);
     total.merge(ws);
     ++rounds;
+    obs::counter_add(obs::Counter::kRareIsRounds);
+    obs::series_append("rare.is.ess", static_cast<double>(rounds),
+                       total.effective_samples());
+    obs::series_append("rare.is.rel_error", static_cast<double>(rounds),
+                       total.rel_error());
     if (total.rel_error() <= cfg.target_rel_error) break;
   }
   auto est = importance_estimate(total);

@@ -1,0 +1,129 @@
+#include "obs/metrics.h"
+
+namespace mram::obs {
+
+namespace detail {
+std::atomic<Registry*> g_registry{nullptr};
+thread_local MetricsBlock* tl_block = nullptr;
+}  // namespace detail
+
+const char* counter_name(Counter c) {
+  switch (c) {
+    case Counter::kEngineCalls: return "engine.calls";
+    case Counter::kEngineChunks: return "engine.chunks";
+    case Counter::kEngineTrials: return "engine.trials";
+    case Counter::kEngineBatchBlocks: return "engine.batch_blocks";
+    case Counter::kEngineBatchLanes: return "engine.batch_lanes";
+    case Counter::kEngineBusyNanos: return "engine.busy_ns";
+    case Counter::kEngineWallNanos: return "engine.wall_ns";
+    case Counter::kLlgNoiseBlocks: return "llg.noise_blocks";
+    case Counter::kLlgLaneSteps: return "llg.lane_steps";
+    case Counter::kLlgLaneStepCapacity: return "llg.lane_step_capacity";
+    case Counter::kLlgLanesEntered: return "llg.lanes_entered";
+    case Counter::kLlgLanesEarlyExit: return "llg.lanes_early_exit";
+    case Counter::kLlgBlocksW8: return "llg.blocks_w8";
+    case Counter::kLlgBlocksW16: return "llg.blocks_w16";
+    case Counter::kLlgBlocksGeneric: return "llg.blocks_generic";
+    case Counter::kRareIsRounds: return "rare.is.rounds";
+    case Counter::kRareSplitLevels: return "rare.split.levels";
+    case Counter::kRareMcmcProposals: return "rare.mcmc.proposals";
+    case Counter::kRareMcmcAccepts: return "rare.mcmc.accepts";
+    case Counter::kShardDumpCalls: return "shard.dump_calls";
+    case Counter::kShardDumpBytes: return "shard.dump_bytes";
+    case Counter::kShardMergeCalls: return "shard.merge_calls";
+    case Counter::kShardMergeBytes: return "shard.merge_bytes";
+    case Counter::kSweepPoints: return "sweep.points";
+    case Counter::kCount: break;
+  }
+  return "unknown";
+}
+
+const char* gauge_name(Gauge g) {
+  switch (g) {
+    case Gauge::kEngineThreads: return "engine.threads";
+    case Gauge::kEngineChunkSize: return "engine.chunk_size";
+    case Gauge::kLlgPreferredLanes: return "llg.preferred_lanes";
+    case Gauge::kCount: break;
+  }
+  return "unknown";
+}
+
+const char* hist_name(Hist h) {
+  switch (h) {
+    case Hist::kEngineChunkNanos: return "engine.chunk_ns";
+    case Hist::kEngineCallNanos: return "engine.call_ns";
+    case Hist::kSweepPointNanos: return "sweep.point_ns";
+    case Hist::kShardDumpNanos: return "shard.dump_ns";
+    case Hist::kShardMergeNanos: return "shard.merge_ns";
+    case Hist::kCount: break;
+  }
+  return "unknown";
+}
+
+void Registry::merge_block(const MetricsBlock& block) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < block.counters.size(); ++i) {
+    counters_[i] += block.counters[i];
+  }
+  if (block.chunk_nanos > 0 ||
+      block.counters[static_cast<std::size_t>(Counter::kEngineChunks)] > 0) {
+    counters_[static_cast<std::size_t>(Counter::kEngineBusyNanos)] +=
+        block.chunk_nanos;
+    hists_[static_cast<std::size_t>(Hist::kEngineChunkNanos)].record(
+        block.chunk_nanos);
+  }
+}
+
+void Registry::add(Counter c, std::uint64_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_[static_cast<std::size_t>(c)] += n;
+}
+
+void Registry::set(Gauge g, double v) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  gauges_[static_cast<std::size_t>(g)] = v;
+  gauge_set_[static_cast<std::size_t>(g)] = true;
+}
+
+void Registry::record(Hist h, std::uint64_t v) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  hists_[static_cast<std::size_t>(h)].record(v);
+}
+
+void Registry::series_append(const std::string& name, double x, double y) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  series_[name].emplace_back(x, y);
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    if (counters_[i] != 0) {
+      snap.counters[counter_name(static_cast<Counter>(i))] = counters_[i];
+    }
+  }
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    if (gauge_set_[i]) {
+      snap.gauges[gauge_name(static_cast<Gauge>(i))] = gauges_[i];
+    }
+  }
+  for (std::size_t i = 0; i < hists_.size(); ++i) {
+    if (hists_[i].count > 0) {
+      snap.histograms[hist_name(static_cast<Hist>(i))] = hists_[i];
+    }
+  }
+  snap.series = series_;
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.fill(0);
+  gauges_.fill(0.0);
+  gauge_set_.fill(false);
+  hists_.fill(Histogram{});
+  series_.clear();
+}
+
+}  // namespace mram::obs

@@ -1,0 +1,322 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/stopwatch.h"
+
+// Deterministic metrics registry for the whole engine stack.
+//
+// Design constraints, in order:
+//
+//   1. Instrumentation must be provably incapable of perturbing results.
+//      Nothing in this header draws randomness, allocates on the trial hot
+//      path, or changes any control flow the workloads can observe; the
+//      runner's chunking, per-trial streams and merge order are untouched
+//      whether metrics are on or off (pinned by test: byte-identical CSVs
+//      with the registry installed and absent, at 1 and 4 threads).
+//
+//   2. Disabled must be a branch on null. Every recording helper loads one
+//      pointer (a thread_local for chunk-context counters, an atomic for
+//      serial-context records) and returns when it is null. No registry
+//      installed => no work.
+//
+//   3. Accumulation is per-worker-thread local, merged in chunk order.
+//      Inside a runner chunk, counter increments go to that chunk's private
+//      MetricsBlock (installed via ChunkScope by the executing worker); the
+//      runner folds the blocks into the registry in chunk-index order after
+//      the pool drains. All merged quantities are unsigned integers (counts,
+//      nanoseconds, bucket tallies), so the fold is exact -- no
+//      floating-point reassociation -- and any merge order yields identical
+//      totals; the chunk order makes that property trivially testable.
+//
+// Metric identifiers are a closed enum rather than interned strings: the
+// hot-path record is then a single indexed add into a fixed array, and the
+// name table below doubles as the metric glossary the README documents.
+
+namespace mram::obs {
+
+/// Monotonic counters. Chunk-context counters (incremented inside runner
+/// trials via the thread-local block) and serial-context counters (driver
+/// loops, shard I/O) share this namespace; counter_add() routes correctly
+/// for both.
+enum class Counter : std::uint16_t {
+  kEngineCalls,          ///< runner run()/run_batched() calls
+  kEngineChunks,         ///< chunks executed
+  kEngineTrials,         ///< trials executed
+  kEngineBatchBlocks,    ///< lane blocks dispatched by run_batched
+  kEngineBatchLanes,     ///< lanes actually run across those blocks
+  kEngineBusyNanos,      ///< summed chunk wall time (worker busy time)
+  kEngineWallNanos,      ///< summed runner-call wall time (caller view)
+  kLlgNoiseBlocks,       ///< batched-LLG kernel invocations (noise blocks)
+  kLlgLaneSteps,         ///< Heun lane-steps executed (active lanes)
+  kLlgLaneStepCapacity,  ///< lane-steps at entry width (occupancy denom.)
+  kLlgLanesEntered,      ///< lanes entering run_until_switch
+  kLlgLanesEarlyExit,    ///< lanes retired by mz crossing before their window
+  kLlgBlocksW8,          ///< kernel calls through the fixed 8-lane body
+  kLlgBlocksW16,         ///< kernel calls through the fixed 16-lane body
+  kLlgBlocksGeneric,     ///< kernel calls through the variable-width body
+  kRareIsRounds,         ///< importance-sampling rounds run
+  kRareSplitLevels,      ///< subset-simulation levels resolved
+  kRareMcmcProposals,    ///< pCN MCMC proposals made
+  kRareMcmcAccepts,      ///< pCN MCMC proposals accepted
+  kShardDumpCalls,       ///< shard-mode partial dumps written
+  kShardDumpBytes,       ///< bytes written into shard dumps
+  kShardMergeCalls,      ///< merge-mode calls replayed from dumps
+  kShardMergeBytes,      ///< bytes read back from shard dumps
+  kSweepPoints,          ///< sweep grid points evaluated
+  kCount
+};
+
+/// Last-write-wins configuration values (doubles). Set from serial code or
+/// from chunk contexts that always write the same value (e.g. the SIMD lane
+/// width the dispatch selected).
+enum class Gauge : std::uint16_t {
+  kEngineThreads,       ///< worker threads of the shared runner
+  kEngineChunkSize,     ///< effective trials per chunk of the last call
+  kLlgPreferredLanes,   ///< lane width preferred_lanes() selected
+  kCount
+};
+
+/// Time-bucketed histograms over unsigned integer values (nanoseconds
+/// unless noted). Buckets are powers of two, so merge is a bucket-wise
+/// integer add -- exact in any order.
+enum class Hist : std::uint16_t {
+  kEngineChunkNanos,   ///< per-chunk wall time
+  kEngineCallNanos,    ///< per-runner-call wall time
+  kSweepPointNanos,    ///< per-sweep-point wall time
+  kShardDumpNanos,     ///< per-call shard dump latency
+  kShardMergeNanos,    ///< per-call shard merge (load + fold) latency
+  kCount
+};
+
+/// Stable snake-case name of a metric ("engine.trials"), used as the JSON
+/// key and documented in the README glossary.
+const char* counter_name(Counter c);
+const char* gauge_name(Gauge g);
+const char* hist_name(Hist h);
+
+/// Power-of-two-bucketed histogram of u64 values. Bucket b counts values v
+/// with bit_width(v) == b + 1, i.e. v in [2^b, 2^(b+1)); 0 lands in bucket
+/// 0 alongside 1. All fields are unsigned integers, so merging two
+/// histograms -- and folding a set of them in any order -- is exact.
+struct Histogram {
+  static constexpr std::size_t kBuckets = 64;
+
+  std::uint64_t count = 0;
+  std::uint64_t total = 0;  ///< sum of recorded values
+  std::uint64_t min = ~std::uint64_t{0};  ///< meaningful only when count > 0
+  std::uint64_t max = 0;
+  std::array<std::uint64_t, kBuckets> buckets{};
+
+  static std::size_t bucket_of(std::uint64_t v) {
+    return v == 0 ? 0 : static_cast<std::size_t>(std::bit_width(v)) - 1;
+  }
+
+  void record(std::uint64_t v) {
+    ++count;
+    total += v;
+    if (v < min) min = v;
+    if (v > max) max = v;
+    ++buckets[bucket_of(v)];
+  }
+
+  void merge(const Histogram& o) {
+    count += o.count;
+    total += o.total;
+    if (o.count > 0) {
+      if (o.min < min) min = o.min;
+      if (o.max > max) max = o.max;
+    }
+    for (std::size_t b = 0; b < kBuckets; ++b) buckets[b] += o.buckets[b];
+  }
+
+  double mean() const {
+    return count ? static_cast<double>(total) / static_cast<double>(count)
+                 : 0.0;
+  }
+};
+
+/// Per-chunk (per-worker-thread-local) accumulation unit: a fixed counter
+/// array plus the chunk's own wall time. Plain data, no locks -- exactly
+/// one worker writes it, and the runner folds it after the pool drains.
+struct MetricsBlock {
+  std::array<std::uint64_t, static_cast<std::size_t>(Counter::kCount)>
+      counters{};
+  std::uint64_t chunk_nanos = 0;  ///< wall time of this chunk's execution
+
+  void add(Counter c, std::uint64_t n) {
+    counters[static_cast<std::size_t>(c)] += n;
+  }
+};
+
+/// One scenario's worth of folded metrics: what the registry snapshots and
+/// the metrics JSON serializes. Only non-zero counters / recorded
+/// histograms / set gauges appear.
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram> histograms;
+  /// Named (x, y) trajectories appended from serial driver code (ESS and
+  /// rel-error per importance-sampling round, conditional probability per
+  /// splitting level, ...).
+  std::map<std::string, std::vector<std::pair<double, double>>> series;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty() &&
+           series.empty();
+  }
+};
+
+/// The process-wide metrics sink. Serial-context records take a mutex (they
+/// happen per runner call / sweep point / rare-event round, never per
+/// trial); chunk-context records never touch the registry directly -- they
+/// go through the lock-free thread-local MetricsBlock and arrive via
+/// merge_block on the caller thread, in chunk order.
+class Registry {
+ public:
+  /// Folds one chunk's block (caller thread, chunk-index order).
+  void merge_block(const MetricsBlock& block);
+
+  void add(Counter c, std::uint64_t n = 1);
+  void set(Gauge g, double v);
+  void record(Hist h, std::uint64_t v);
+  void series_append(const std::string& name, double x, double y);
+
+  /// Copies the current state out (named, zero-suppressed).
+  Snapshot snapshot() const;
+
+  /// Clears every metric (between scenarios).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::array<std::uint64_t, static_cast<std::size_t>(Counter::kCount)>
+      counters_{};
+  std::array<double, static_cast<std::size_t>(Gauge::kCount)> gauges_{};
+  std::array<bool, static_cast<std::size_t>(Gauge::kCount)> gauge_set_{};
+  std::array<Histogram, static_cast<std::size_t>(Hist::kCount)> hists_{};
+  std::map<std::string, std::vector<std::pair<double, double>>> series_;
+};
+
+namespace detail {
+extern std::atomic<Registry*> g_registry;
+extern thread_local MetricsBlock* tl_block;
+}  // namespace detail
+
+/// Installs (or, with nullptr, removes) the process-wide registry. Not
+/// thread-safe against concurrent recording: install before the run starts,
+/// remove after it ends (ScopedRegistry does both).
+inline void set_registry(Registry* r) {
+  detail::g_registry.store(r, std::memory_order_release);
+}
+
+inline Registry* registry() {
+  return detail::g_registry.load(std::memory_order_acquire);
+}
+
+inline bool metrics_enabled() { return registry() != nullptr; }
+
+/// RAII install/remove of the process-wide registry.
+class ScopedRegistry {
+ public:
+  explicit ScopedRegistry(Registry* r) { set_registry(r); }
+  ~ScopedRegistry() { set_registry(nullptr); }
+  ScopedRegistry(const ScopedRegistry&) = delete;
+  ScopedRegistry& operator=(const ScopedRegistry&) = delete;
+};
+
+/// Counter increment, usable from any context. Inside a runner chunk the
+/// thread-local block takes it (lock-free); otherwise it goes to the
+/// registry under its mutex. With nothing installed both pointers are null
+/// and this is a branch-on-null no-op.
+inline void counter_add(Counter c, std::uint64_t n = 1) {
+  if (MetricsBlock* b = detail::tl_block) {
+    b->add(c, n);
+    return;
+  }
+  if (Registry* r = registry()) r->add(c, n);
+}
+
+/// Gauge set (registry-direct; safe from chunk contexts only for values
+/// that are identical on every write, which all current gauges are).
+inline void gauge_set(Gauge g, double v) {
+  if (Registry* r = registry()) r->set(g, v);
+}
+
+/// Histogram record from serial contexts (per runner call / sweep point /
+/// shard I/O). Per-chunk wall times arrive via MetricsBlock::chunk_nanos
+/// instead, so they fold in chunk order.
+inline void hist_record(Hist h, std::uint64_t v) {
+  if (Registry* r = registry()) r->record(h, v);
+}
+
+/// Series append from serial driver code (rare-event rounds/levels).
+inline void series_append(const std::string& name, double x, double y) {
+  if (Registry* r = registry()) r->series_append(name, x, y);
+}
+
+/// Scoped histogram timer for serial contexts: reads the clock only when a
+/// registry is installed, so the disabled path costs one pointer load.
+class ScopedHist {
+ public:
+  explicit ScopedHist(Hist h) : hist_(h), armed_(metrics_enabled()) {
+    if (armed_) sw_.reset();
+  }
+  ~ScopedHist() {
+    if (armed_) hist_record(hist_, sw_.nanos());
+  }
+  ScopedHist(const ScopedHist&) = delete;
+  ScopedHist& operator=(const ScopedHist&) = delete;
+
+ private:
+  Hist hist_;
+  bool armed_;
+  Stopwatch sw_;
+};
+
+/// Installs `block` as the executing thread's accumulation target for the
+/// lifetime of one chunk, timing it. finish(trials) stamps the trial count
+/// and the chunk wall time; the runner merges the block afterwards (in
+/// chunk order, on the caller thread). A null block (metrics disabled)
+/// arms nothing and reads no clock.
+class ChunkScope {
+ public:
+  explicit ChunkScope(MetricsBlock* block) : block_(block) {
+    if (block_) {
+      prev_ = detail::tl_block;
+      detail::tl_block = block_;
+      sw_.reset();
+    }
+  }
+
+  /// Records the chunk's own metrics. Call once, at the end of the chunk
+  /// body (the destructor only restores the thread-local).
+  void finish(std::uint64_t trials) {
+    if (!block_) return;
+    block_->chunk_nanos = sw_.nanos();
+    block_->add(Counter::kEngineChunks, 1);
+    block_->add(Counter::kEngineTrials, trials);
+  }
+
+  ~ChunkScope() {
+    if (block_) detail::tl_block = prev_;
+  }
+
+  ChunkScope(const ChunkScope&) = delete;
+  ChunkScope& operator=(const ChunkScope&) = delete;
+
+ private:
+  MetricsBlock* block_;
+  MetricsBlock* prev_ = nullptr;
+  Stopwatch sw_;
+};
+
+}  // namespace mram::obs

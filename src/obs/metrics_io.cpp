@@ -1,0 +1,266 @@
+#include "obs/metrics_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.h"
+#include "util/error.h"
+
+namespace mram::obs {
+
+namespace {
+
+std::string u64_str(std::uint64_t v) { return std::to_string(v); }
+
+/// Shortest round-trip double formatting (%.17g is exact; trim via %g
+/// first and fall back when it does not round-trip).
+std::string dbl_str(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string histogram_json(const Histogram& h) {
+  std::ostringstream os;
+  os << "{\"count\": " << u64_str(h.count) << ", \"total\": "
+     << u64_str(h.total) << ", \"min\": " << u64_str(h.count ? h.min : 0)
+     << ", \"max\": " << u64_str(h.max) << ", \"buckets\": [";
+  bool first = true;
+  for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+    if (h.buckets[b] == 0) continue;
+    if (!first) os << ", ";
+    first = false;
+    const std::uint64_t lo = b == 0 ? 0 : (std::uint64_t{1} << b);
+    // Bucket 63 is open-ended; report its lower bound twice rather than
+    // overflow the upper one.
+    const std::uint64_t hi =
+        b >= 63 ? ~std::uint64_t{0} : (std::uint64_t{1} << (b + 1));
+    os << "[" << u64_str(lo) << ", " << u64_str(hi) << ", "
+       << u64_str(h.buckets[b]) << "]";
+  }
+  os << "]}";
+  return os.str();
+}
+
+Histogram histogram_from_json(const JsonValue& v, const std::string& what) {
+  Histogram h;
+  h.count = v.expect("count", what.c_str()).as_u64(what.c_str());
+  h.total = v.expect("total", what.c_str()).as_u64(what.c_str());
+  h.min = v.expect("min", what.c_str()).as_u64(what.c_str());
+  if (h.count == 0) h.min = ~std::uint64_t{0};
+  h.max = v.expect("max", what.c_str()).as_u64(what.c_str());
+  const JsonValue& buckets = v.expect("buckets", what.c_str());
+  if (!buckets.is(JsonValue::Kind::kArray)) {
+    throw util::ConfigError(what + ": buckets must be an array");
+  }
+  for (const auto& entry : buckets.array) {
+    if (!entry.is(JsonValue::Kind::kArray) || entry.array.size() != 3) {
+      throw util::ConfigError(what + ": bucket entries are [lo, hi, count]");
+    }
+    const std::uint64_t lo = entry.array[0].as_u64(what.c_str());
+    const std::uint64_t n = entry.array[2].as_u64(what.c_str());
+    h.buckets[Histogram::bucket_of(lo)] += n;
+  }
+  return h;
+}
+
+std::string snapshot_json(const Snapshot& s, const std::string& indent) {
+  std::ostringstream os;
+  const auto emit_map = [&](const char* key, auto&& body, bool& first_sec) {
+    if (!first_sec) os << ",\n";
+    first_sec = false;
+    os << indent << "\"" << key << "\": {";
+    body();
+    os << "}";
+  };
+  bool first_sec = true;
+  emit_map("counters", [&] {
+    bool first = true;
+    for (const auto& [name, v] : s.counters) {
+      os << (first ? "" : ", ") << "\"" << json_escape(name)
+         << "\": " << u64_str(v);
+      first = false;
+    }
+  }, first_sec);
+  emit_map("gauges", [&] {
+    bool first = true;
+    for (const auto& [name, v] : s.gauges) {
+      os << (first ? "" : ", ") << "\"" << json_escape(name)
+         << "\": " << dbl_str(v);
+      first = false;
+    }
+  }, first_sec);
+  emit_map("histograms", [&] {
+    bool first = true;
+    for (const auto& [name, h] : s.histograms) {
+      os << (first ? "" : ", ") << "\"" << json_escape(name)
+         << "\": " << histogram_json(h);
+      first = false;
+    }
+  }, first_sec);
+  emit_map("series", [&] {
+    bool first = true;
+    for (const auto& [name, pts] : s.series) {
+      os << (first ? "" : ", ") << "\"" << json_escape(name) << "\": [";
+      bool fp = true;
+      for (const auto& [x, y] : pts) {
+        os << (fp ? "" : ", ") << "[" << dbl_str(x) << ", " << dbl_str(y)
+           << "]";
+        fp = false;
+      }
+      os << "]";
+      first = false;
+    }
+  }, first_sec);
+  return os.str();
+}
+
+Snapshot snapshot_from_json(const JsonValue& v, const std::string& what) {
+  Snapshot s;
+  if (const JsonValue* counters = v.get("counters")) {
+    for (const auto& [name, val] : counters->object) {
+      s.counters[name] = val.as_u64((what + ".counters").c_str());
+    }
+  }
+  if (const JsonValue* gauges = v.get("gauges")) {
+    for (const auto& [name, val] : gauges->object) {
+      s.gauges[name] = val.as_number((what + ".gauges").c_str());
+    }
+  }
+  if (const JsonValue* hists = v.get("histograms")) {
+    for (const auto& [name, val] : hists->object) {
+      s.histograms[name] =
+          histogram_from_json(val, what + ".histograms." + name);
+    }
+  }
+  if (const JsonValue* series = v.get("series")) {
+    for (const auto& [name, val] : series->object) {
+      auto& pts = s.series[name];
+      if (!val.is(JsonValue::Kind::kArray)) {
+        throw util::ConfigError(what + ".series." + name +
+                                ": expected an array of [x, y] pairs");
+      }
+      for (const auto& pt : val.array) {
+        if (!pt.is(JsonValue::Kind::kArray) || pt.array.size() != 2) {
+          throw util::ConfigError(what + ".series." + name +
+                                  ": entries are [x, y] pairs");
+        }
+        pts.emplace_back(pt.array[0].as_number("series x"),
+                         pt.array[1].as_number("series y"));
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+void fold_snapshot(Snapshot& into, const Snapshot& from) {
+  for (const auto& [name, v] : from.counters) into.counters[name] += v;
+  for (const auto& [name, v] : from.gauges) into.gauges[name] = v;
+  for (const auto& [name, h] : from.histograms) {
+    into.histograms[name].merge(h);
+  }
+  for (const auto& [name, pts] : from.series) {
+    auto& dst = into.series[name];
+    dst.insert(dst.end(), pts.begin(), pts.end());
+  }
+}
+
+ScenarioMetrics& MetricsDoc::scenario(const std::string& name) {
+  for (auto& s : scenarios) {
+    if (s.name == name) return s;
+  }
+  scenarios.push_back(ScenarioMetrics{name, {}});
+  return scenarios.back();
+}
+
+void MetricsDoc::fold(const MetricsDoc& other) {
+  if (tool.empty()) tool = other.tool;
+  if (threads == 0) threads = other.threads;
+  for (const auto& s : other.scenarios) {
+    fold_snapshot(scenario(s.name).snapshot, s.snapshot);
+  }
+}
+
+std::string MetricsDoc::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"" << kSchema << "\",\n  \"tool\": \""
+     << json_escape(tool) << "\",\n  \"threads\": " << threads
+     << ",\n  \"seed\": " << u64_str(seed) << ",\n  \"scenarios\": [";
+  bool first = true;
+  for (const auto& s : scenarios) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    {\n      \"name\": \"" << json_escape(s.name) << "\",\n"
+       << snapshot_json(s.snapshot, "      ") << "\n    }";
+  }
+  os << (scenarios.empty() ? "]" : "\n  ]") << "\n}\n";
+  return os.str();
+}
+
+MetricsDoc MetricsDoc::parse(const std::string& json_text) {
+  const JsonValue root = json_parse(json_text);
+  if (!root.is(JsonValue::Kind::kObject)) {
+    throw util::ConfigError("metrics document: expected a JSON object");
+  }
+  const std::string& schema =
+      root.expect("schema", "metrics document").as_string("schema");
+  if (schema != kSchema) {
+    throw util::ConfigError("metrics document: unsupported schema '" +
+                            schema + "' (this build reads '" + kSchema +
+                            "')");
+  }
+  MetricsDoc doc;
+  if (const JsonValue* tool = root.get("tool")) {
+    doc.tool = tool->as_string("tool");
+  }
+  if (const JsonValue* threads = root.get("threads")) {
+    doc.threads = static_cast<unsigned>(threads->as_u64("threads"));
+  }
+  if (const JsonValue* seed = root.get("seed")) {
+    doc.seed = seed->as_u64("seed");
+  }
+  const JsonValue& scenarios =
+      root.expect("scenarios", "metrics document");
+  if (!scenarios.is(JsonValue::Kind::kArray)) {
+    throw util::ConfigError("metrics document: scenarios must be an array");
+  }
+  for (const auto& s : scenarios.array) {
+    ScenarioMetrics sm;
+    sm.name = s.expect("name", "scenario entry").as_string("name");
+    sm.snapshot = snapshot_from_json(s, "scenario '" + sm.name + "'");
+    doc.scenarios.push_back(std::move(sm));
+  }
+  return doc;
+}
+
+MetricsDoc MetricsDoc::load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw util::ConfigError("cannot open metrics file " + path);
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  try {
+    return parse(buf.str());
+  } catch (const util::ConfigError& e) {
+    throw util::ConfigError(path + ": " + e.what());
+  }
+}
+
+void write_metrics_file(const std::string& path, const MetricsDoc& doc) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) {
+    throw util::ConfigError("cannot open metrics output file " + path);
+  }
+  os << doc.to_json();
+  os.flush();
+  if (!os) {
+    throw util::ConfigError("failed writing metrics file " + path);
+  }
+}
+
+}  // namespace mram::obs

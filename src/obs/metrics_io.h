@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+// Metrics snapshot persistence: the schema-versioned JSON document
+// `mram_scenarios run --metrics FILE` writes, `mram_merge --metrics-in`
+// reads back, and the CI throughput gate / future BENCH baselines consume.
+//
+// Schema "mram.metrics/1":
+//   {
+//     "schema": "mram.metrics/1",
+//     "tool": "mram_scenarios",
+//     "threads": 4, "seed": 2020,
+//     "scenarios": [
+//       { "name": "wer_deep",
+//         "counters":   { "engine.trials": 131072, ... },
+//         "gauges":     { "engine.threads": 4.0, ... },
+//         "histograms": { "engine.chunk_ns": {
+//             "count": N, "total": T, "min": m, "max": M,
+//             "buckets": [[lo, hi, count], ...] } },   // power-of-2 bounds
+//         "series":     { "rare.is.ess": [[x, y], ...] } }
+//     ]
+//   }
+//
+// Everything integer-valued is emitted as a JSON integer literal (exact up
+// to 2^64 via the parser's u64 fast path); gauges and series are doubles.
+//
+// Fold semantics (shard merging): counters and histograms add -- they are
+// extensive quantities, so the fold of N shard snapshots equals what one
+// process would have counted. Gauges are configuration echoes: last folded
+// document wins. Series are per-process trajectories with no cross-shard
+// meaning; they concatenate in fold order (shard order), which is
+// deterministic. Scenarios are matched by name; unmatched ones are
+// appended.
+
+namespace mram::obs {
+
+struct ScenarioMetrics {
+  std::string name;
+  Snapshot snapshot;
+};
+
+struct MetricsDoc {
+  static constexpr const char* kSchema = "mram.metrics/1";
+
+  std::string tool;
+  unsigned threads = 0;
+  std::uint64_t seed = 0;
+  std::vector<ScenarioMetrics> scenarios;
+
+  /// Finds the entry for `name`, appending an empty one when absent.
+  ScenarioMetrics& scenario(const std::string& name);
+
+  /// Folds `other` into this document (see fold semantics above).
+  void fold(const MetricsDoc& other);
+
+  /// Renders the schema-versioned JSON document.
+  std::string to_json() const;
+
+  /// Parses and schema-checks a document; throws util::ConfigError on a
+  /// malformed payload or a schema-version mismatch.
+  static MetricsDoc parse(const std::string& json_text);
+
+  /// Reads + parses a metrics file; errors name the path.
+  static MetricsDoc load(const std::string& path);
+};
+
+/// Folds two snapshots (counters/histograms add, gauges last-wins, series
+/// concatenate). Exposed for the registry-free unit tests.
+void fold_snapshot(Snapshot& into, const Snapshot& from);
+
+/// Writes `doc` to `path` (error-checked; throws util::ConfigError).
+void write_metrics_file(const std::string& path, const MetricsDoc& doc);
+
+}  // namespace mram::obs

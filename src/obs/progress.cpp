@@ -1,0 +1,155 @@
+#include "obs/progress.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace mram::obs {
+
+namespace detail {
+std::atomic<Progress*> g_progress{nullptr};
+}  // namespace detail
+
+namespace {
+
+constexpr std::uint64_t kRedrawIntervalNs = 125'000'000;  // ~8 Hz
+
+std::string trials_str(std::uint64_t n) {
+  char buf[32];
+  if (n >= 10'000'000) {
+    std::snprintf(buf, sizeof buf, "%.1fM", static_cast<double>(n) / 1e6);
+  } else if (n >= 10'000) {
+    std::snprintf(buf, sizeof buf, "%.1fk", static_cast<double>(n) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(n));
+  }
+  return buf;
+}
+
+std::string eta_str(double seconds) {
+  char buf[32];
+  const auto s = static_cast<std::uint64_t>(seconds + 0.5);
+  if (s >= 3600) {
+    std::snprintf(buf, sizeof buf, "%lluh%02llum",
+                  static_cast<unsigned long long>(s / 3600),
+                  static_cast<unsigned long long>((s % 3600) / 60));
+  } else if (s >= 60) {
+    std::snprintf(buf, sizeof buf, "%llum%02llus",
+                  static_cast<unsigned long long>(s / 60),
+                  static_cast<unsigned long long>(s % 60));
+  } else {
+    std::snprintf(buf, sizeof buf, "%llus",
+                  static_cast<unsigned long long>(s));
+  }
+  return buf;
+}
+
+}  // namespace
+
+Progress::Progress(std::ostream& err, bool live) : err_(err), live_(live) {}
+
+Progress::~Progress() { finish(); }
+
+void Progress::print(const std::string& text) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (line_visible_) {
+    err_ << "\r\x1b[K";
+    line_visible_ = false;
+  }
+  err_ << text;
+  err_.flush();
+  if (live_ && !scenario_.empty()) redraw_locked();
+}
+
+void Progress::begin_scenario(const std::string& name, std::size_t index,
+                              std::size_t count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  scenario_ = name;
+  scenario_index_ = index;
+  scenario_count_ = count;
+  trials_total_.store(0, std::memory_order_relaxed);
+  trials_done_.store(0, std::memory_order_relaxed);
+  if (live_) redraw_locked();
+}
+
+void Progress::end_scenario() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  scenario_.clear();
+  if (line_visible_) {
+    err_ << "\r\x1b[K";
+    err_.flush();
+    line_visible_ = false;
+  }
+}
+
+void Progress::begin_call(std::uint64_t trials) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  trials_total_.store(trials, std::memory_order_relaxed);
+  trials_done_.store(0, std::memory_order_relaxed);
+  call_clock_.reset();
+  if (live_) redraw_locked();
+}
+
+void Progress::add_trials(std::uint64_t n) {
+  trials_done_.fetch_add(n, std::memory_order_relaxed);
+  if (!live_) return;
+  // Throttle: only the tick that wins the CAS on the redraw stamp takes the
+  // mutex; everyone else returns immediately.
+  const std::uint64_t now = call_clock_.nanos();
+  std::uint64_t last = last_draw_ns_.load(std::memory_order_relaxed);
+  if (now - last < kRedrawIntervalNs) return;
+  if (!last_draw_ns_.compare_exchange_strong(last, now,
+                                             std::memory_order_relaxed)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!scenario_.empty()) redraw_locked();
+}
+
+void Progress::finish() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  scenario_.clear();
+  if (line_visible_) {
+    err_ << "\r\x1b[K";
+    err_.flush();
+    line_visible_ = false;
+  }
+}
+
+std::string Progress::render_line() {
+  const std::uint64_t total = trials_total_.load(std::memory_order_relaxed);
+  const std::uint64_t done = trials_done_.load(std::memory_order_relaxed);
+  std::ostringstream os;
+  os << "[" << (scenario_index_ + 1) << "/" << scenario_count_ << "] "
+     << scenario_;
+  if (total > 0) {
+    const std::uint64_t clamped = done < total ? done : total;
+    const double frac =
+        static_cast<double>(clamped) / static_cast<double>(total);
+    char pct[16];
+    std::snprintf(pct, sizeof pct, "%5.1f%%", 100.0 * frac);
+    os << "  " << trials_str(clamped) << "/" << trials_str(total)
+       << " trials " << pct;
+    const double elapsed = call_clock_.seconds();
+    if (clamped > 0 && elapsed > 0.05) {
+      const double rate = static_cast<double>(clamped) / elapsed;
+      char rbuf[24];
+      std::snprintf(rbuf, sizeof rbuf, "%.3g", rate);
+      os << "  " << rbuf << " trials/s";
+      if (clamped < total) {
+        os << "  ETA " << eta_str(static_cast<double>(total - clamped) / rate);
+      }
+    }
+  } else {
+    os << "  running...";
+  }
+  return os.str();
+}
+
+void Progress::redraw_locked() {
+  err_ << "\r\x1b[K" << render_line();
+  err_.flush();
+  line_visible_ = true;
+}
+
+}  // namespace mram::obs

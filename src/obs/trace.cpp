@@ -1,0 +1,135 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.h"
+#include "util/error.h"
+
+namespace mram::obs {
+
+namespace detail {
+std::atomic<TraceRecorder*> g_trace{nullptr};
+}  // namespace detail
+
+namespace {
+
+// Thread-local cache of "my buffer inside recorder #id". Recorder ids are
+// process-unique and never reused, so a new recorder allocated at the
+// address of a destroyed one can never inherit a stale buffer pointer.
+struct BufCache {
+  std::uint64_t recorder_id = ~std::uint64_t{0};
+  void* buf = nullptr;
+};
+thread_local BufCache tl_buf_cache;
+
+std::atomic<std::uint64_t> g_next_recorder_id{1};
+
+}  // namespace
+
+void set_trace(TraceRecorder* r) {
+  detail::g_trace.store(r, std::memory_order_release);
+}
+
+TraceRecorder::TraceRecorder()
+    : id_(g_next_recorder_id.fetch_add(1, std::memory_order_relaxed)) {
+  // Register the owning thread eagerly so it is always tid 0 ("main") and
+  // scenario-level spans land on a stable track.
+  ThreadBuf& main_buf = this_thread();
+  main_buf.name = "main";
+}
+
+TraceRecorder::~TraceRecorder() = default;
+
+TraceRecorder::ThreadBuf& TraceRecorder::this_thread() {
+  if (tl_buf_cache.recorder_id == id_ && tl_buf_cache.buf != nullptr) {
+    return *static_cast<ThreadBuf*>(tl_buf_cache.buf);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto buf = std::make_unique<ThreadBuf>();
+  buf->tid = static_cast<int>(threads_.size());
+  buf->name = "worker " + std::to_string(buf->tid);
+  threads_.push_back(std::move(buf));
+  tl_buf_cache.recorder_id = id_;
+  tl_buf_cache.buf = threads_.back().get();
+  return *threads_.back();
+}
+
+void TraceRecorder::add_span(const char* category, std::string name,
+                             std::uint64_t start_ns, std::uint64_t dur_ns,
+                             std::string args_json) {
+  ThreadBuf& buf = this_thread();
+  buf.events.push_back(Event{category, std::move(name), start_ns, dur_ns,
+                             std::move(args_json)});
+}
+
+std::string TraceRecorder::to_json(const std::string& process_name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  bool first = true;
+  const auto sep = [&] {
+    os << (first ? "" : ",\n");
+    first = false;
+  };
+  // Metadata first: process name, then one thread_name record per track.
+  sep();
+  os << " {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+        "\"tid\": 0, \"args\": {\"name\": \""
+     << json_escape(process_name) << "\"}}";
+  for (const auto& t : threads_) {
+    sep();
+    os << " {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": "
+       << t->tid << ", \"args\": {\"name\": \"" << json_escape(t->name)
+       << "\"}}";
+    sep();
+    os << " {\"name\": \"thread_sort_index\", \"ph\": \"M\", \"pid\": 1, "
+          "\"tid\": "
+       << t->tid << ", \"args\": {\"sort_index\": " << t->tid << "}}";
+  }
+  // Complete ("X") events; ts/dur are microseconds with sub-µs precision
+  // kept as a fraction (the trace format takes fractional timestamps).
+  const auto us = [](std::uint64_t ns) {
+    std::ostringstream v;
+    v << ns / 1000;
+    const std::uint64_t frac = ns % 1000;
+    if (frac != 0) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, ".%03u", static_cast<unsigned>(frac));
+      v << buf;
+    }
+    return v.str();
+  };
+  for (const auto& t : threads_) {
+    for (const auto& e : t->events) {
+      sep();
+      os << " {\"name\": \"" << json_escape(e.name) << "\", \"cat\": \""
+         << json_escape(e.category) << "\", \"ph\": \"X\", \"pid\": 1, "
+            "\"tid\": "
+         << t->tid << ", \"ts\": " << us(e.start_ns)
+         << ", \"dur\": " << us(e.dur_ns);
+      if (!e.args_json.empty()) {
+        os << ", \"args\": " << e.args_json;
+      }
+      os << "}";
+    }
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+void TraceRecorder::write_file(const std::string& path,
+                               const std::string& process_name) const {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) {
+    throw util::ConfigError("cannot open trace output file " + path);
+  }
+  os << to_json(process_name);
+  os.flush();
+  if (!os) {
+    throw util::ConfigError("failed writing trace file " + path);
+  }
+}
+
+}  // namespace mram::obs

@@ -1,0 +1,146 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/stopwatch.h"
+
+// Chrome-trace-event recording, viewable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. The recorder collects complete ("X") spans into
+// per-thread buffers:
+//
+//   * each thread registers itself lazily on its first span and gets a
+//     stable integer track id (registration order; the thread that created
+//     the recorder registers eagerly as tid 0, "main");
+//   * a span is two steady_clock reads plus one vector push_back on the
+//     owning thread's private buffer -- no locks on the hot path, no
+//     cross-thread contention, and (like the metrics layer) no RNG draws or
+//     control-flow changes, so tracing cannot perturb results;
+//   * write_json() runs after the thread pool has quiesced (every
+//     ThreadPool::for_each returns only once all tasks completed, so all
+//     buffer appends happen-before it).
+//
+// Spans nest naturally by time: scenario (scenario layer) > sweep-point
+// (sweep driver) > chunk (Monte Carlo runner), with chunks distributed over
+// the per-thread tracks -- which is exactly the worker busy/idle picture.
+//
+// Disabled-path contract: TraceSpan construction loads one atomic pointer;
+// when no recorder is installed it does nothing (the name builder is not
+// even invoked).
+
+namespace mram::obs {
+
+class TraceRecorder {
+ public:
+  TraceRecorder();
+  ~TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Nanoseconds since recorder creation (the trace time origin).
+  std::uint64_t now_ns() const { return origin_.nanos(); }
+
+  /// Appends one complete span to the calling thread's buffer.
+  void add_span(const char* category, std::string name,
+                std::uint64_t start_ns, std::uint64_t dur_ns,
+                std::string args_json = "");
+
+  /// Renders the Chrome trace-event JSON document ({"traceEvents": [...]}).
+  /// Call only after all instrumented work has completed.
+  std::string to_json(const std::string& process_name) const;
+
+  /// Writes to_json() to `path`; throws util::ConfigError on I/O failure.
+  void write_file(const std::string& path,
+                  const std::string& process_name) const;
+
+ private:
+  struct Event {
+    const char* category;
+    std::string name;
+    std::uint64_t start_ns;
+    std::uint64_t dur_ns;
+    std::string args_json;  ///< preformatted JSON object text ("" = none)
+  };
+
+  struct ThreadBuf {
+    int tid = 0;
+    std::string name;
+    std::vector<Event> events;
+  };
+
+  ThreadBuf& this_thread();
+
+  Stopwatch origin_;
+  std::uint64_t id_;  ///< process-unique, never reused (thread cache key)
+  mutable std::mutex mutex_;  ///< guards registration + to_json
+  std::vector<std::unique_ptr<ThreadBuf>> threads_;
+};
+
+namespace detail {
+extern std::atomic<TraceRecorder*> g_trace;
+}  // namespace detail
+
+inline TraceRecorder* trace_recorder() {
+  return detail::g_trace.load(std::memory_order_acquire);
+}
+
+void set_trace(TraceRecorder* r);
+
+/// RAII install/remove of the process-wide recorder.
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(TraceRecorder* r) { set_trace(r); }
+  ~ScopedTrace() { set_trace(nullptr); }
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+};
+
+/// RAII complete-span. The name builder (any callable returning a string)
+/// runs only when a recorder is installed, so the disabled path allocates
+/// nothing.
+class TraceSpan {
+ public:
+  template <class NameFn>
+  TraceSpan(const char* category, NameFn&& name_fn) {
+    if (TraceRecorder* r = trace_recorder()) {
+      recorder_ = r;
+      category_ = category;
+      name_ = name_fn();
+      start_ns_ = r->now_ns();
+    }
+  }
+
+  /// Attaches a preformatted JSON object ({"k": v}) as the span's args.
+  void set_args(std::string args_json) {
+    if (recorder_) args_ = std::move(args_json);
+  }
+
+  ~TraceSpan() {
+    // Only emit when the recorder is still the one we started against (a
+    // span must never outlive its recorder; all current spans are
+    // stack-scoped inside the run, so this is belt and braces).
+    if (recorder_ && recorder_ == trace_recorder()) {
+      recorder_->add_span(category_, std::move(name_), start_ns_,
+                          recorder_->now_ns() - start_ns_,
+                          std::move(args_));
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceRecorder* recorder_ = nullptr;
+  const char* category_ = "";
+  std::string name_;
+  std::string args_;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace mram::obs

@@ -31,7 +31,19 @@ int usage(std::ostream& os, int code) {
         "                 [--format table|csv|json] [--out DIR]\n"
         "                 [--data DIR] [--trial-scale X]\n"
         "                 [--shard I/N --partials DIR]\n"
-        "                 [--checkpoint DIR [--resume]]\n";
+        "                 [--checkpoint DIR [--resume]]\n"
+        "                 [--metrics FILE] [--trace FILE]\n"
+        "                 [--progress] [--quiet]\n"
+        "\n"
+        "Observability (none of these can change results):\n"
+        "  --metrics FILE  per-scenario metrics snapshot (JSON, schema\n"
+        "                  mram.metrics/1): trial/chunk counts, wall and\n"
+        "                  busy time, lane occupancy, rare-event rounds...\n"
+        "  --trace FILE    Chrome trace-event JSON; open in Perfetto\n"
+        "                  (ui.perfetto.dev) to see scenario > sweep-point\n"
+        "                  > chunk spans on per-thread tracks\n"
+        "  --progress      live progress/ETA line on stderr\n"
+        "  --quiet         suppress the stderr summary and progress\n";
   return code;
 }
 
@@ -42,11 +54,18 @@ int merge_usage(std::ostream& os, int code) {
         "             [--threads N] [--seed S]\n"
         "             [--format table|csv|json] [--out DIR]\n"
         "             [--data DIR] [--trial-scale X]\n"
+        "             [--metrics FILE [--metrics-in FILE...]]\n"
+        "             [--trace FILE] [--progress] [--quiet]\n"
         "\n"
         "Folds the per-chunk shard dumps under DIR (written by\n"
         "`mram_scenarios run --shard I/N --partials DIR` for every I) into\n"
         "results bit-identical to a single-process run. --shards defaults\n"
-        "to the count detected from the dump file names.\n";
+        "to the count detected from the dump file names.\n"
+        "\n"
+        "--metrics FILE writes this merge's metrics snapshot; each\n"
+        "--metrics-in FILE (repeatable) folds a shard run's --metrics\n"
+        "document into it, so the output totals what the whole fleet\n"
+        "executed (counters and histograms add, gauges last-wins).\n";
   return code;
 }
 
@@ -179,6 +198,16 @@ ParsedArgs parse_common(const std::vector<std::string>& args,
         throw util::ConfigError("--shards must be positive");
       }
       p.shards_set = true;
+    } else if (a == "--metrics") {
+      p.opt.metrics_file = value();
+    } else if (merge_tool && a == "--metrics-in") {
+      p.opt.metrics_in.push_back(value());
+    } else if (a == "--trace") {
+      p.opt.trace_file = value();
+    } else if (a == "--progress") {
+      p.opt.progress = true;
+    } else if (a == "--quiet") {
+      p.opt.quiet = true;
     } else if (!a.empty() && a[0] == '-') {
       throw UsageError("unknown option " + a);
     } else {

@@ -1,10 +1,17 @@
 #include "scenario/run_command.h"
 
-#include <chrono>
 #include <exception>
 #include <filesystem>
+#include <memory>
+#include <optional>
 #include <ostream>
+#include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/metrics_io.h"
+#include "obs/progress.h"
+#include "obs/stopwatch.h"
+#include "obs/trace.h"
 #include "scenario/result_sink.h"
 #include "util/error.h"
 #include "util/table.h"
@@ -65,6 +72,10 @@ int run_scenarios(const ScenarioRegistry& registry,
   if ((shard_mode || opt.merge) && opt.partials_dir.empty()) {
     throw util::ConfigError("shard/merge mode needs a partials directory");
   }
+  if (!opt.metrics_in.empty() && opt.metrics_file.empty()) {
+    throw util::ConfigError(
+        "--metrics-in needs --metrics FILE for the folded output");
+  }
 
   if (!opt.out_dir.empty()) {
     std::filesystem::create_directories(opt.out_dir);
@@ -75,19 +86,41 @@ int run_scenarios(const ScenarioRegistry& registry,
   runner_cfg.threads = opt.threads;
   eng::MonteCarloRunner runner(runner_cfg);  // one pool for the whole run
 
+  // Observability sinks. The progress gate is always installed -- it is the
+  // single serialized writer for every stderr diagnostic, so the summary,
+  // FAIL lines and the live line can never interleave mid-row -- but the
+  // live display only animates with --progress (and never under --quiet).
+  obs::Progress progress(err, opt.progress && !opt.quiet);
+  obs::ScopedProgress progress_guard(&progress);
+
+  const bool want_metrics = !opt.metrics_file.empty();
+  obs::Registry metrics_registry;
+  std::optional<obs::ScopedRegistry> metrics_guard;
+  if (want_metrics) metrics_guard.emplace(&metrics_registry);
+  obs::MetricsDoc doc;
+  doc.tool = opt.merge ? "mram_merge" : "mram_scenarios";
+  doc.threads = runner.threads();
+  doc.seed = opt.seed;
+
+  std::unique_ptr<obs::TraceRecorder> tracer;
+  std::optional<obs::ScopedTrace> trace_guard;
+  if (!opt.trace_file.empty()) {
+    tracer = std::make_unique<obs::TraceRecorder>();
+    trace_guard.emplace(tracer.get());
+  }
+
   int failures = 0;
   double total_secs = 0.0;
   util::Table summary({"scenario", "status", "tables", "eff. trials",
                        "rel err", "wall (s)"});
-  for (const auto& name : names) {
+  for (std::size_t idx = 0; idx < names.size(); ++idx) {
+    const auto& name = names[idx];
     const auto& scenario = registry.at(name);
-    const auto start = std::chrono::steady_clock::now();
-    auto elapsed = [&] {
-      return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                           start)
-          .count();
-    };
+    if (want_metrics) metrics_registry.reset();  // per-scenario snapshots
+    progress.begin_scenario(name, idx, names.size());
+    obs::Stopwatch watch;
     try {
+      obs::TraceSpan scenario_span("scenario", [&] { return name; });
       const eng::ShardIo io = shard_io_for(opt, name);
       runner.set_shard_io(io);
       ScenarioContext ctx{.runner = runner};
@@ -110,8 +143,11 @@ int run_scenarios(const ScenarioRegistry& registry,
               "trial counts cannot be sharded)");
         }
       }
-      const double secs = elapsed();
+      const double secs = watch.seconds();
       total_secs += secs;
+      // The live line is cleared before anything else of this scenario is
+      // printed (sink output included), so result streams stay clean.
+      progress.end_scenario();
       // Shard mode: the dumps are the product. The shard-local tables would
       // be computed from this slice's trials alone, so writing them through
       // the sink would look like (wrong) results; the merge emits the real
@@ -138,24 +174,49 @@ int run_scenarios(const ScenarioRegistry& registry,
       }
     } catch (const std::exception& e) {
       ++failures;
-      const double secs = elapsed();
+      const double secs = watch.seconds();
       total_secs += secs;
+      progress.end_scenario();
       summary.add_row(
           {name, "FAIL", "-", "-", "-", util::format_double(secs, 2)});
-      err << "FAIL " << name << ": " << e.what() << "\n";
+      progress.print("FAIL " + name + ": " + e.what() + "\n");
+    }
+    if (want_metrics) {
+      doc.scenario(name).snapshot = metrics_registry.snapshot();
     }
   }
-  // Per-scenario wall-clock summary, always on `err` so it never corrupts
-  // piped csv/json output: scenario-level perf regressions show up here
-  // without rerunning the microbenches. Printed for single-scenario runs
-  // too -- their eff. trials / rel err / wall-clock used to be silently
-  // dropped, and one scenario is the common case when iterating.
-  summary.print(err,
-                "run summary (" + util::format_double(total_secs, 2) +
-                    " s total, " + std::to_string(runner.threads()) +
-                    " threads)");
+  progress.finish();
+  // Per-scenario wall-clock summary, always on `err` (through the gate) so
+  // it never corrupts piped csv/json output: scenario-level perf
+  // regressions show up here without rerunning the microbenches. Printed
+  // for single-scenario runs too -- their eff. trials / rel err /
+  // wall-clock used to be silently dropped, and one scenario is the common
+  // case when iterating. --quiet drops it (and only it): failure
+  // diagnostics and exit codes are unaffected.
+  if (!opt.quiet) {
+    std::ostringstream block;
+    summary.print(block,
+                  "run summary (" + util::format_double(total_secs, 2) +
+                      " s total, " + std::to_string(runner.threads()) +
+                      " threads)");
+    progress.print(block.str());
+  }
+  if (want_metrics) {
+    // Shard-run metrics fold in CLI order after this run's own: counters
+    // and histograms add (extensive across shards), gauges last-wins,
+    // series concatenate.
+    for (const auto& path : opt.metrics_in) {
+      doc.fold(obs::MetricsDoc::load(path));
+    }
+    obs::write_metrics_file(opt.metrics_file, doc);
+  }
+  if (tracer) {
+    trace_guard.reset();  // stop recording before serializing
+    tracer->write_file(opt.trace_file, doc.tool);
+  }
   if (failures > 0) {
-    err << failures << " of " << names.size() << " scenarios failed\n";
+    progress.print(std::to_string(failures) + " of " +
+                   std::to_string(names.size()) + " scenarios failed\n");
     return 1;
   }
   return 0;

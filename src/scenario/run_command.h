@@ -38,6 +38,21 @@ struct RunCommandOptions {
   std::string checkpoint_dir;   ///< non-empty => snapshot completed chunk
                                 ///< ranges here (and resume from them)
   bool resume = false;          ///< checkpoint mode: honor existing snapshots
+
+  // Observability surfaces (src/obs/; all off by default, and none of them
+  // can change results -- pinned by tests/test_obs.cpp's byte-identity
+  // checks).
+  std::string metrics_file;  ///< non-empty => write the per-scenario metrics
+                             ///< JSON snapshot (schema mram.metrics/1) here
+  std::vector<std::string> metrics_in;  ///< shard metrics JSONs folded into
+                                        ///< metrics_file (counters add,
+                                        ///< gauges last-wins); merge tool
+  std::string trace_file;    ///< non-empty => write Chrome trace-event JSON
+                             ///< (Perfetto-loadable) here
+  bool progress = false;     ///< live progress/ETA line on stderr
+  bool quiet = false;        ///< suppress the stderr summary and progress
+                             ///< (failure diagnostics still print; exit
+                             ///< codes are unchanged)
 };
 
 /// Runs the selected scenarios of `registry` on one shared runner. Results

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "scenario/scenario.h"
 #include "util/rng.h"
 
@@ -109,6 +111,12 @@ class SweepDriver {
     const std::size_t n = grid.size();
     for (std::size_t i = 0; i < n; ++i) {
       SweepPoint pt{grid.point(i), runner_, point_seed(i)};
+      obs::TraceSpan span("sweep", [&] {
+        return table.name + " point " + std::to_string(i) + "/" +
+               std::to_string(n);
+      });
+      obs::ScopedHist point_timer(obs::Hist::kSweepPointNanos);
+      obs::counter_add(obs::Counter::kSweepPoints);
       table.add_row(fn(static_cast<const SweepPoint&>(pt)));
     }
     return table;

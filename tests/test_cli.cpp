@@ -211,6 +211,46 @@ TEST(ScenariosCli, AllCannotCombineWithNames) {
   EXPECT_NE(r.err.find("--all cannot be combined"), std::string::npos);
 }
 
+// --- observability flags ----------------------------------------------------
+
+TEST(ScenariosCli, ObservabilityFlagsAreRunOnly) {
+  for (const char* flag : {"--metrics", "--trace"}) {
+    const auto r = scenarios({"list", flag, "/tmp/x.json"});
+    EXPECT_EQ(r.code, 2) << flag;
+    EXPECT_NE(r.err.find(std::string(flag) + " is only valid for `run`"),
+              std::string::npos)
+        << flag;
+  }
+  for (const char* flag : {"--progress", "--quiet"}) {
+    const auto r = scenarios({"list", flag});
+    EXPECT_EQ(r.code, 2) << flag;
+    EXPECT_NE(r.err.find(std::string(flag) + " is only valid for `run`"),
+              std::string::npos)
+        << flag;
+  }
+}
+
+TEST(ScenariosCli, MetricsFlagNeedsAValue) {
+  const auto r = scenarios({"run", "wer_deep", "--metrics"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("missing value after --metrics"), std::string::npos);
+}
+
+TEST(ScenariosCli, MetricsInBelongsToTheMergeTool) {
+  // Shard-metrics folding only makes sense when replaying shards.
+  const auto r =
+      scenarios({"run", "wer_deep", "--metrics-in", "/tmp/x.json"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown option --metrics-in"), std::string::npos);
+}
+
+TEST(MergeCli, MetricsInRequiresAMetricsOutput) {
+  const auto r = merge({"wer_deep", "--partials", "/tmp/x", "--metrics-in",
+                        "/tmp/shard0.json"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--metrics-in needs --metrics"), std::string::npos);
+}
+
 // --- mram_merge exit codes --------------------------------------------------
 
 TEST(MergeCli, NoArgsIsUsageError) {

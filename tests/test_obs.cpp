@@ -1,0 +1,567 @@
+// Observability layer tests: the metrics registry primitives, the JSON
+// parser / metrics-document round trip, the Chrome-trace recorder, the
+// serialized progress gate -- and the load-bearing integration contract
+// that none of the three CLI surfaces (--metrics, --trace, --progress) can
+// perturb results: CSV payloads stay byte-identical with instrumentation
+// on and off, at 1 and 4 threads.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/metrics_io.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
+#include "scenario/registry.h"
+#include "scenario/run_command.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace mram::scn {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path make_temp_dir(const std::string& tag) {
+  const fs::path dir = fs::temp_directory_path() / ("mram_obs_" + tag);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Same shape as test_shard.cpp's probes: mc_pair makes two runner calls
+/// (2000 + 1500 trials), mc_solo one (900). Cells carry 17 digits so a
+/// single ULP of instrumentation-induced drift breaks the byte compare.
+ScenarioRegistry mc_registry() {
+  ScenarioRegistry registry;
+  Scenario pair;
+  pair.info.name = "mc_pair";
+  pair.info.figure = "Test";
+  pair.info.summary = "two-call Monte Carlo probe";
+  pair.run = [](ScenarioContext& ctx) {
+    const auto stats = ctx.runner.run<util::RunningStats>(
+        ctx.scaled_trials(2000), ctx.seed,
+        [](util::Rng& rng, std::size_t, util::RunningStats& acc) {
+          acc.add(rng.normal(1.0, 2.0));
+        });
+    const auto tail = ctx.runner.run<util::WeightedStats>(
+        ctx.scaled_trials(1500), ctx.seed + 1,
+        [](util::Rng& rng, std::size_t, util::WeightedStats& acc) {
+          const double x = rng.normal();
+          acc.add(x > 1.5 ? 1.0 : 0.0, rng.uniform(0.5, 1.5));
+        });
+    ResultSet out;
+    out.add("moments", "scalar moments", {"mean", "stddev", "min", "max"})
+        .add_row({Cell(stats.mean(), 17), Cell(stats.stddev(), 17),
+                  Cell(stats.min(), 17), Cell(stats.max(), 17)});
+    out.add("tail", "weighted tail estimate", {"mean", "rel_err", "ess"})
+        .add_row({Cell(tail.mean(), 17), Cell(tail.rel_error(), 17),
+                  Cell(tail.effective_samples(), 17)});
+    return out;
+  };
+  registry.add(pair);
+
+  Scenario solo;
+  solo.info.name = "mc_solo";
+  solo.info.figure = "Test";
+  solo.info.summary = "one-call Monte Carlo probe";
+  solo.run = [](ScenarioContext& ctx) {
+    const auto stats = ctx.runner.run<util::RunningStats>(
+        ctx.scaled_trials(900), ctx.seed,
+        [](util::Rng& rng, std::size_t, util::RunningStats& acc) {
+          acc.add(rng.uniform(-1.0, 1.0));
+        });
+    ResultSet out;
+    out.add("u", "uniform moments", {"mean", "var"})
+        .add_row({Cell(stats.mean(), 17), Cell(stats.variance(), 17)});
+    return out;
+  };
+  registry.add(solo);
+  return registry;
+}
+
+RunCommandOptions base_options(std::vector<std::string> names,
+                               unsigned threads) {
+  RunCommandOptions opt;
+  opt.names = std::move(names);
+  opt.format = "csv";
+  opt.threads = threads;
+  opt.seed = 2026;
+  return opt;
+}
+
+/// Runs and returns the CSV payload (stdout), asserting success.
+std::string run_csv(const ScenarioRegistry& registry,
+                    const RunCommandOptions& opt) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run_scenarios(registry, opt, out, err), 0) << err.str();
+  return out.str();
+}
+
+const obs::ScenarioMetrics* find_scenario(const obs::MetricsDoc& doc,
+                                          const std::string& name) {
+  for (const auto& s : doc.scenarios) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::uint64_t counter_of(const obs::ScenarioMetrics& s,
+                         const std::string& name) {
+  const auto it = s.snapshot.counters.find(name);
+  return it == s.snapshot.counters.end() ? 0 : it->second;
+}
+
+// --- histogram primitives ---------------------------------------------------
+
+TEST(ObsHistogram, PowerOfTwoBuckets) {
+  using obs::Histogram;
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 0u);
+  EXPECT_EQ(Histogram::bucket_of(2), 1u);
+  EXPECT_EQ(Histogram::bucket_of(3), 1u);
+  EXPECT_EQ(Histogram::bucket_of(4), 2u);
+  EXPECT_EQ(Histogram::bucket_of(1023), 9u);
+  EXPECT_EQ(Histogram::bucket_of(1024), 10u);
+  EXPECT_EQ(Histogram::bucket_of(~std::uint64_t{0}), 63u);
+}
+
+TEST(ObsHistogram, MergeIsExactInAnyOrder) {
+  obs::Histogram a, b;
+  for (const std::uint64_t v : {3ull, 9ull, 1000ull, 12345ull, 0ull}) {
+    a.record(v);
+  }
+  for (const std::uint64_t v : {7ull, 1ull << 40, 42ull}) {
+    b.record(v);
+  }
+  obs::Histogram ab = a, ba = b;
+  ab.merge(b);
+  ba.merge(a);
+  EXPECT_EQ(ab.count, ba.count);
+  EXPECT_EQ(ab.total, ba.total);
+  EXPECT_EQ(ab.min, ba.min);
+  EXPECT_EQ(ab.max, ba.max);
+  EXPECT_EQ(ab.buckets, ba.buckets);
+  EXPECT_EQ(ab.count, 8u);
+  EXPECT_EQ(ab.min, 0u);
+  EXPECT_EQ(ab.max, 1ull << 40);
+}
+
+// --- chunk-block routing ----------------------------------------------------
+
+TEST(ObsRegistry, ChunkScopeRoutesCountersThroughTheBlock) {
+  obs::Registry reg;
+  obs::ScopedRegistry guard(&reg);
+  obs::MetricsBlock block;
+  {
+    obs::ChunkScope scope(&block);
+    obs::counter_add(obs::Counter::kLlgNoiseBlocks, 5);
+    scope.finish(100);
+  }
+  // Nothing reaches the registry until the caller folds the block.
+  EXPECT_TRUE(reg.snapshot().counters.empty());
+  reg.merge_block(block);
+  const obs::Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("llg.noise_blocks"), 5u);
+  EXPECT_EQ(snap.counters.at("engine.chunks"), 1u);
+  EXPECT_EQ(snap.counters.at("engine.trials"), 100u);
+  ASSERT_EQ(snap.histograms.count("engine.chunk_ns"), 1u);
+  EXPECT_EQ(snap.histograms.at("engine.chunk_ns").count, 1u);
+}
+
+TEST(ObsRegistry, NullBlockAndNoRegistryAreNoOps) {
+  obs::ChunkScope scope(nullptr);  // metrics disabled: arms nothing
+  obs::counter_add(obs::Counter::kEngineTrials, 7);
+  obs::gauge_set(obs::Gauge::kEngineThreads, 3.0);
+  obs::hist_record(obs::Hist::kEngineCallNanos, 9);
+  obs::series_append("x", 1.0, 2.0);
+  scope.finish(7);
+  SUCCEED();  // contract: no registry installed, nothing to crash into
+}
+
+// --- JSON parser ------------------------------------------------------------
+
+TEST(ObsJson, ParsesValuesAndKeepsU64Exact) {
+  const auto v = obs::json_parse(
+      R"({"a": 1, "b": [true, null, "x\nA"], "c": -2.5,
+          "big": 9007199254740993, "max": 18446744073709551615})");
+  ASSERT_TRUE(v.is(obs::JsonValue::Kind::kObject));
+  EXPECT_EQ(v.expect("a", "a").as_u64("a"), 1u);
+  const auto& b = v.expect("b", "b");
+  ASSERT_EQ(b.array.size(), 3u);
+  EXPECT_TRUE(b.array[0].boolean);
+  EXPECT_TRUE(b.array[1].is(obs::JsonValue::Kind::kNull));
+  EXPECT_EQ(b.array[2].as_string("b[2]"), "x\nA");
+  EXPECT_DOUBLE_EQ(v.expect("c", "c").as_number("c"), -2.5);
+  EXPECT_FALSE(v.expect("c", "c").is_u64);
+  // 2^53 + 1 is not representable as a double; the u64 fast path keeps it.
+  EXPECT_TRUE(v.expect("big", "big").is_u64);
+  EXPECT_EQ(v.expect("big", "big").as_u64("big"), 9007199254740993ull);
+  EXPECT_EQ(v.expect("max", "max").as_u64("max"), ~std::uint64_t{0});
+  EXPECT_EQ(v.get("absent"), nullptr);
+}
+
+TEST(ObsJson, RejectsMalformedInput) {
+  EXPECT_THROW(obs::json_parse("{"), util::ConfigError);
+  EXPECT_THROW(obs::json_parse("[1,]"), util::ConfigError);
+  EXPECT_THROW(obs::json_parse("{'a': 1}"), util::ConfigError);
+  EXPECT_THROW(obs::json_parse(R"({"a": 1 "b": 2})"), util::ConfigError);
+  EXPECT_THROW(obs::json_parse("1 trailing"), util::ConfigError);
+  EXPECT_THROW(obs::json_parse("\"unterminated"), util::ConfigError);
+  EXPECT_THROW(obs::json_parse(""), util::ConfigError);
+  EXPECT_THROW(
+      obs::json_parse("{\"a\": 1}").expect("a", "a").as_string("a"),
+      util::ConfigError);
+}
+
+// --- metrics document -------------------------------------------------------
+
+obs::MetricsDoc sample_doc() {
+  obs::MetricsDoc doc;
+  doc.tool = "mram_scenarios";
+  doc.threads = 4;
+  doc.seed = 2026;
+  auto& s = doc.scenario("sample");
+  s.snapshot.counters["engine.trials"] = (1ull << 60) + 3;  // beyond 2^53
+  s.snapshot.gauges["engine.threads"] = 4.0;
+  obs::Histogram h;
+  for (const std::uint64_t v : {1ull, 2ull, 3ull, 1ull << 40}) h.record(v);
+  s.snapshot.histograms["engine.chunk_ns"] = h;
+  // Two series: the emitter once dropped the comma between series entries,
+  // which only a multi-series snapshot can catch.
+  s.snapshot.series["rare.is.ess"] = {{1.0, 100.5}, {2.0, 200.25}};
+  s.snapshot.series["rare.is.rel_error"] = {{1.0, 0.5}};
+  return doc;
+}
+
+TEST(ObsMetricsDoc, JsonRoundTripIsLossless) {
+  const obs::MetricsDoc doc = sample_doc();
+  const obs::MetricsDoc back = obs::MetricsDoc::parse(doc.to_json());
+  EXPECT_EQ(back.tool, "mram_scenarios");
+  EXPECT_EQ(back.threads, 4u);
+  EXPECT_EQ(back.seed, 2026u);
+  const auto* s = find_scenario(back, "sample");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->snapshot.counters.at("engine.trials"), (1ull << 60) + 3);
+  EXPECT_DOUBLE_EQ(s->snapshot.gauges.at("engine.threads"), 4.0);
+  const auto& h = s->snapshot.histograms.at("engine.chunk_ns");
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_EQ(h.total, 6 + (1ull << 40));
+  EXPECT_EQ(h.min, 1u);
+  EXPECT_EQ(h.max, 1ull << 40);
+  EXPECT_EQ(h.buckets[0], 1u);  // 1
+  EXPECT_EQ(h.buckets[1], 2u);  // 2, 3
+  EXPECT_EQ(h.buckets[40], 1u);
+  EXPECT_EQ(s->snapshot.series.at("rare.is.ess"),
+            (std::vector<std::pair<double, double>>{{1.0, 100.5},
+                                                    {2.0, 200.25}}));
+  EXPECT_EQ(s->snapshot.series.at("rare.is.rel_error"),
+            (std::vector<std::pair<double, double>>{{1.0, 0.5}}));
+}
+
+TEST(ObsMetricsDoc, ParseRejectsWrongSchema) {
+  EXPECT_THROW(obs::MetricsDoc::parse(
+                   R"({"schema": "mram.metrics/999", "scenarios": []})"),
+               util::ConfigError);
+  EXPECT_THROW(obs::MetricsDoc::parse(R"({"scenarios": []})"),
+               util::ConfigError);
+}
+
+TEST(ObsMetricsDoc, FoldAddsCountersLastWinsGaugesConcatsSeries) {
+  obs::Snapshot into, from;
+  into.counters["a"] = 1;
+  into.gauges["g"] = 1.0;
+  into.series["s"] = {{1.0, 1.0}};
+  obs::Histogram h1, h2;
+  h1.record(8);
+  h2.record(16);
+  into.histograms["h"] = h1;
+  from.counters["a"] = 2;
+  from.counters["b"] = 3;
+  from.gauges["g"] = 2.0;
+  from.series["s"] = {{2.0, 2.0}};
+  from.histograms["h"] = h2;
+  obs::fold_snapshot(into, from);
+  EXPECT_EQ(into.counters.at("a"), 3u);
+  EXPECT_EQ(into.counters.at("b"), 3u);
+  EXPECT_DOUBLE_EQ(into.gauges.at("g"), 2.0);
+  EXPECT_EQ(into.histograms.at("h").count, 2u);
+  EXPECT_EQ(into.histograms.at("h").total, 24u);
+  ASSERT_EQ(into.series.at("s").size(), 2u);
+  EXPECT_DOUBLE_EQ(into.series.at("s")[1].first, 2.0);
+
+  // Document-level fold matches scenarios by name, appends unmatched ones.
+  obs::MetricsDoc d1, d2;
+  d1.scenario("x").snapshot.counters["a"] = 1;
+  d2.scenario("x").snapshot.counters["a"] = 4;
+  d2.scenario("y").snapshot.counters["a"] = 9;
+  d1.fold(d2);
+  ASSERT_EQ(d1.scenarios.size(), 2u);
+  EXPECT_EQ(d1.scenario("x").snapshot.counters.at("a"), 5u);
+  EXPECT_EQ(d1.scenario("y").snapshot.counters.at("a"), 9u);
+}
+
+// --- trace recorder ---------------------------------------------------------
+
+TEST(ObsTrace, EmitsParseableChromeTraceJson) {
+  obs::TraceRecorder rec;
+  {
+    obs::ScopedTrace guard(&rec);
+    obs::TraceSpan span("unit", [] { return std::string("hello \"span\""); });
+  }
+  const auto doc = obs::json_parse(rec.to_json("test_proc"));
+  const auto& events = doc.expect("traceEvents", "traceEvents");
+  ASSERT_TRUE(events.is(obs::JsonValue::Kind::kArray));
+  bool saw_span = false, saw_thread_name = false, saw_process_name = false;
+  for (const auto& e : events.array) {
+    const std::string& ph = e.expect("ph", "ph").as_string("ph");
+    EXPECT_EQ(e.expect("pid", "pid").as_u64("pid"), 1u);
+    if (ph == "X" && e.expect("name", "name").as_string("name") ==
+                         "hello \"span\"") {
+      saw_span = true;
+      EXPECT_EQ(e.expect("cat", "cat").as_string("cat"), "unit");
+      EXPECT_GE(e.expect("dur", "dur").as_number("dur"), 0.0);
+      e.expect("ts", "ts");
+      e.expect("tid", "tid");
+    }
+    if (ph == "M") {
+      const std::string& name = e.expect("name", "name").as_string("name");
+      if (name == "thread_name") saw_thread_name = true;
+      if (name == "process_name") {
+        saw_process_name = true;
+        EXPECT_EQ(e.expect("args", "args")
+                      .expect("name", "args.name")
+                      .as_string("args.name"),
+                  "test_proc");
+      }
+    }
+  }
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_thread_name);
+  EXPECT_TRUE(saw_process_name);
+}
+
+TEST(ObsTrace, DisabledPathNeverBuildsTheName) {
+  bool called = false;
+  {
+    obs::TraceSpan span("unit", [&] {
+      called = true;
+      return std::string("never");
+    });
+  }
+  EXPECT_FALSE(called);
+}
+
+// --- progress gate ----------------------------------------------------------
+
+TEST(ObsProgress, NonLivePrintIsAPassThrough) {
+  std::ostringstream err;
+  obs::Progress p(err, /*live=*/false);
+  p.begin_scenario("demo", 0, 1);
+  p.print("status line\n");
+  p.finish();
+  EXPECT_EQ(err.str(), "status line\n");  // no escape codes, no live line
+}
+
+TEST(ObsProgress, LiveLineIsClearedAroundPrints) {
+  std::ostringstream err;
+  {
+    obs::Progress p(err, /*live=*/true);
+    p.begin_scenario("demo", 0, 3);
+    p.print("status line\n");
+    p.end_scenario();
+    p.finish();
+  }
+  const std::string s = err.str();
+  EXPECT_NE(s.find("[1/3] demo"), std::string::npos);
+  EXPECT_NE(s.find("status line\n"), std::string::npos);
+  EXPECT_NE(s.find("\r\x1b[K"), std::string::npos);
+  // The verbatim payload is never broken by the live line: the clear
+  // sequence always precedes it on a fresh line start.
+  EXPECT_NE(s.find("\x1b[Kstatus line\n"), std::string::npos);
+}
+
+// --- integration: instrumentation cannot perturb results --------------------
+
+TEST(ObsRun, MetricsTraceProgressKeepCsvByteIdentical) {
+  const auto registry = mc_registry();
+  const std::vector<std::string> names{"mc_pair", "mc_solo"};
+  const fs::path dir = make_temp_dir("identity");
+  const std::string reference = run_csv(registry, base_options(names, 1));
+  ASSERT_NE(reference.find("# mc_pair/moments"), std::string::npos);
+
+  for (const unsigned threads : {1u, 4u}) {
+    auto opt = base_options(names, threads);
+    opt.metrics_file =
+        (dir / ("metrics_t" + std::to_string(threads) + ".json")).string();
+    opt.trace_file =
+        (dir / ("trace_t" + std::to_string(threads) + ".json")).string();
+    opt.progress = true;
+    std::ostringstream out, err;
+    ASSERT_EQ(run_scenarios(registry, opt, out, err), 0) << err.str();
+    EXPECT_EQ(out.str(), reference) << "threads=" << threads;
+    // The live line animated on err but never leaked into the payload.
+    EXPECT_NE(err.str().find("\x1b[K"), std::string::npos);
+    EXPECT_NE(err.str().find("[1/2] mc_pair"), std::string::npos);
+  }
+}
+
+TEST(ObsRun, MetricsFileMatchesTheSchemaAndTheTrialCounts) {
+  const auto registry = mc_registry();
+  const fs::path dir = make_temp_dir("metrics");
+  auto opt = base_options({"mc_pair", "mc_solo"}, 4);
+  opt.metrics_file = (dir / "metrics.json").string();
+  run_csv(registry, opt);
+
+  const auto doc = obs::MetricsDoc::load(opt.metrics_file);
+  EXPECT_EQ(doc.tool, "mram_scenarios");
+  EXPECT_EQ(doc.threads, 4u);
+  EXPECT_EQ(doc.seed, 2026u);
+  const auto* pair = find_scenario(doc, "mc_pair");
+  const auto* solo = find_scenario(doc, "mc_solo");
+  ASSERT_NE(pair, nullptr);
+  ASSERT_NE(solo, nullptr);
+  // Extensive counters are exact regardless of the thread count.
+  EXPECT_EQ(counter_of(*pair, "engine.trials"), 3500u);
+  EXPECT_EQ(counter_of(*pair, "engine.calls"), 2u);
+  EXPECT_EQ(counter_of(*solo, "engine.trials"), 900u);
+  EXPECT_EQ(counter_of(*solo, "engine.calls"), 1u);
+  // Per-chunk wall times fold one histogram entry per chunk.
+  const auto& chunk_hist = pair->snapshot.histograms.at("engine.chunk_ns");
+  EXPECT_EQ(chunk_hist.count, counter_of(*pair, "engine.chunks"));
+  EXPECT_GT(counter_of(*pair, "engine.busy_ns"), 0u);
+  EXPECT_DOUBLE_EQ(pair->snapshot.gauges.at("engine.threads"), 4.0);
+}
+
+TEST(ObsRun, TraceFileHoldsScenarioAndChunkSpans) {
+  const auto registry = mc_registry();
+  const fs::path dir = make_temp_dir("trace");
+  auto opt = base_options({"mc_pair"}, 2);
+  opt.trace_file = (dir / "trace.json").string();
+  run_csv(registry, opt);
+
+  const auto doc = obs::json_parse(slurp(opt.trace_file));
+  const auto& events = doc.expect("traceEvents", "traceEvents");
+  ASSERT_TRUE(events.is(obs::JsonValue::Kind::kArray));
+  bool saw_scenario = false, saw_chunk = false, saw_process = false;
+  for (const auto& e : events.array) {
+    const std::string& ph = e.expect("ph", "ph").as_string("ph");
+    if (ph == "X") {
+      const std::string& cat = e.expect("cat", "cat").as_string("cat");
+      const std::string& name = e.expect("name", "name").as_string("name");
+      if (cat == "scenario" && name == "mc_pair") saw_scenario = true;
+      if (cat == "engine" && name.rfind("chunk ", 0) == 0) saw_chunk = true;
+    } else if (ph == "M" &&
+               e.expect("name", "name").as_string("name") == "process_name") {
+      saw_process =
+          e.expect("args", "args").expect("name", "n").as_string("n") ==
+          "mram_scenarios";
+    }
+  }
+  EXPECT_TRUE(saw_scenario);
+  EXPECT_TRUE(saw_chunk);
+  EXPECT_TRUE(saw_process);
+}
+
+TEST(ObsRun, QuietSuppressesTheSummaryButNotTheExitCode) {
+  const auto registry = mc_registry();
+  {
+    auto opt = base_options({"mc_solo"}, 1);
+    std::ostringstream out, err;
+    ASSERT_EQ(run_scenarios(registry, opt, out, err), 0);
+    EXPECT_NE(err.str().find("run summary"), std::string::npos);
+  }
+  {
+    auto opt = base_options({"mc_solo"}, 1);
+    opt.quiet = true;
+    std::ostringstream out, err;
+    ASSERT_EQ(run_scenarios(registry, opt, out, err), 0);
+    EXPECT_EQ(err.str(), "");  // success is silent on stderr
+    EXPECT_NE(out.str().find("# mc_solo/u"), std::string::npos);
+  }
+  {
+    auto opt = base_options({"missing"}, 1);
+    opt.quiet = true;
+    std::ostringstream out, err;
+    EXPECT_THROW(run_scenarios(registry, opt, out, err), util::ConfigError);
+  }
+}
+
+TEST(ObsRun, MetricsInWithoutMetricsFileIsAConfigError) {
+  const auto registry = mc_registry();
+  auto opt = base_options({"mc_solo"}, 1);
+  opt.metrics_in = {"shard.json"};
+  std::ostringstream out, err;
+  EXPECT_THROW(run_scenarios(registry, opt, out, err), util::ConfigError);
+}
+
+TEST(ObsRun, MergeFoldsShardMetricsIntoOneDocument) {
+  const auto registry = mc_registry();
+  const std::vector<std::string> names{"mc_pair", "mc_solo"};
+  const std::string reference = run_csv(registry, base_options(names, 1));
+  const fs::path dir = make_temp_dir("fold");
+
+  std::vector<std::string> shard_metrics;
+  for (std::size_t i = 0; i < 2; ++i) {
+    auto opt = base_options(names, 2);
+    opt.shard = eng::ShardSpec{i, 2};
+    opt.partials_dir = (dir / "partials").string();
+    opt.metrics_file =
+        (dir / ("metrics_shard" + std::to_string(i) + ".json")).string();
+    std::ostringstream out, err;
+    ASSERT_EQ(run_scenarios(registry, opt, out, err), 0) << err.str();
+    shard_metrics.push_back(opt.metrics_file);
+  }
+  // Each shard recorded only its own slice of the trials.
+  for (const auto& path : shard_metrics) {
+    const auto doc = obs::MetricsDoc::load(path);
+    const auto* pair = find_scenario(doc, "mc_pair");
+    ASSERT_NE(pair, nullptr);
+    EXPECT_LT(counter_of(*pair, "engine.trials"), 3500u);
+    EXPECT_GT(counter_of(*pair, "shard.dump_calls"), 0u);
+  }
+
+  auto merge_opt = base_options(names, 1);
+  merge_opt.merge = true;
+  merge_opt.partials_dir = (dir / "partials").string();
+  merge_opt.metrics_file = (dir / "metrics_merged.json").string();
+  merge_opt.metrics_in = shard_metrics;
+  std::ostringstream out, err;
+  ASSERT_EQ(run_scenarios(registry, merge_opt, out, err), 0) << err.str();
+  EXPECT_EQ(out.str(), reference);  // metrics folding never touches results
+
+  const auto merged = obs::MetricsDoc::load(merge_opt.metrics_file);
+  EXPECT_EQ(merged.tool, "mram_merge");
+  const auto* pair = find_scenario(merged, "mc_pair");
+  const auto* solo = find_scenario(merged, "mc_solo");
+  ASSERT_NE(pair, nullptr);
+  ASSERT_NE(solo, nullptr);
+  // The fold restores the full-process totals: the merge replay executes no
+  // trials itself, and the two shard slices add back up exactly.
+  EXPECT_EQ(counter_of(*pair, "engine.trials"), 3500u);
+  EXPECT_EQ(counter_of(*solo, "engine.trials"), 900u);
+  // The merge run contributes its own replay-side counters on top.
+  EXPECT_EQ(counter_of(*pair, "shard.merge_calls"), 2u);
+  EXPECT_EQ(counter_of(*solo, "shard.merge_calls"), 1u);
+  EXPECT_GT(counter_of(*pair, "shard.dump_calls"), 0u);  // from the shards
+}
+
+}  // namespace
+}  // namespace mram::scn
