@@ -329,6 +329,7 @@ void BatchMacrospinSim::run_until_switch(std::size_t lanes, const Vec3* m0,
       constexpr bool kW = decltype(tilted)::value;
       if (n_active == kDefaultLanes) {
         obs::counter_add(obs::Counter::kLlgBlocksW8);
+        obs::tag_kernel(obs::KernelTag::kLlgW8);
         return step_lanes_block_w8<kT, kW>(
             remaining, h_stride, mx_.data(), my_.data(), mz_.data(), hxm,
             hym, hzm, sign_.data(), crossed_.data(), logw_.data(), coeffs,
@@ -336,12 +337,14 @@ void BatchMacrospinSim::run_until_switch(std::size_t lanes, const Vec3* m0,
       }
       if (n_active == kAvx512Lanes) {
         obs::counter_add(obs::Counter::kLlgBlocksW16);
+        obs::tag_kernel(obs::KernelTag::kLlgW16);
         return step_lanes_block_w16<kT, kW>(
             remaining, h_stride, mx_.data(), my_.data(), mz_.data(), hxm,
             hym, hzm, sign_.data(), crossed_.data(), logw_.data(), coeffs,
             wcoeffs, mz_stop);
       }
       obs::counter_add(obs::Counter::kLlgBlocksGeneric);
+      obs::tag_kernel(obs::KernelTag::kLlgGeneric);
       return step_lanes_block<kT, kW>(n_active, remaining, h_stride,
                                       mx_.data(), my_.data(), mz_.data(),
                                       hxm, hym, hzm, sign_.data(),
@@ -361,6 +364,10 @@ void BatchMacrospinSim::run_until_switch(std::size_t lanes, const Vec3* m0,
                      static_cast<std::uint64_t>(done) * n_active);
     obs::counter_add(obs::Counter::kLlgLaneStepCapacity,
                      static_cast<std::uint64_t>(done) * lanes);
+    obs::counter_add(obs::Counter::kLlgFlops,
+                     static_cast<std::uint64_t>(done) * n_active *
+                         (has_torque ? detail::kHeunStepFlopsTorque
+                                     : detail::kHeunStepFlops));
     for (std::size_t s = 0; s < done; ++s) t += dt;
     steps_done += done;
     if (sigma > 0.0) phase = (phase + done) % kNoiseBlockSteps;

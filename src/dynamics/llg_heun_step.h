@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cmath>
+#include <cstdint>
 
 #include "dynamics/llg.h"
 
@@ -20,7 +21,16 @@
 
 namespace mram::dyn::detail {
 
-/// Parameter pack of per-run constants, precomputed once outside the loop.
+/// Flops of one stochastic_heun_step<false> evaluation, counted off the
+/// straight-line body below (the llg.flops metric and the derived
+/// flops/cycle estimate key off these). Each RHS stage is 29 (anisotropy
+/// field 2, two cross products 9 each, damping combine 9); the predictor is
+/// 16 (euler 6, norm 7 = 3 mul + 2 add + sqrt + div, projection 3); the
+/// corrector is 19 (blend 9, norm 7, projection 3). 2*29 + 16 + 19 = 93.
+inline constexpr std::uint64_t kHeunStepFlops = 93;
+/// stochastic_heun_step<true> adds two spin-torque evaluations of 30 flops
+/// each (two cross products + a 4-flop combine per component).
+inline constexpr std::uint64_t kHeunStepFlopsTorque = 153;
 struct HeunStepCoeffs {
   double alpha = 0.0;
   double hk = 0.0;

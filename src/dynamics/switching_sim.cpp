@@ -3,7 +3,9 @@
 #include <cmath>
 
 #include "dynamics/llg_batch.h"
+#include "dynamics/llg_heun_step.h"
 #include "engine/monte_carlo.h"
+#include "obs/metrics.h"
 #include "util/constants.h"
 #include "util/error.h"
 #include "util/stats.h"
@@ -112,6 +114,13 @@ SwitchingStats llg_switching_stats(const dev::MtjDevice& device,
   const std::size_t lane_width = BatchMacrospinSim::preferred_lanes();
   MRAM_EXPECTS(lane_width <= eng::MonteCarloRunner::kMaxLaneWidth,
                "preferred lane width exceeds engine maximum");
+  // Report echo for the efficiency section: which documented flop constant
+  // the llg.flops counter is accumulating under (serial context, once per
+  // runner call -- never from inside a chunk).
+  obs::gauge_set(obs::Gauge::kLlgFlopsPerStep,
+                 llg.current != 0.0
+                     ? static_cast<double>(detail::kHeunStepFlopsTorque)
+                     : static_cast<double>(detail::kHeunStepFlops));
   const std::uint64_t seed = rng();
   const auto partial = runner.run_batched<SwitchPartial>(
       trials, seed, lane_width, [&] { return BatchMacrospinSim(llg); },
@@ -146,10 +155,15 @@ SwitchingStats llg_switching_stats_scalar(const dev::MtjDevice& device,
       device.delta(initial_state(dir), hz_stray, temperature);
   const double mz0 = (initial_state(dir) == MtjState::kParallel) ? 1.0 : -1.0;
 
+  obs::gauge_set(obs::Gauge::kLlgFlopsPerStep,
+                 llg.current != 0.0
+                     ? static_cast<double>(detail::kHeunStepFlopsTorque)
+                     : static_cast<double>(detail::kHeunStepFlops));
   const std::uint64_t seed = rng();
   const auto partial = runner.run<SwitchPartial>(
       trials, seed,
       [&](util::Rng& trial_rng, std::size_t, SwitchPartial& acc) {
+        obs::tag_kernel(obs::KernelTag::kLlgScalar);
         const Vec3 m0 = thermal_initial_tilt(trial_rng, delta, mz0);
         const auto result = sim.run_until_switch(m0, duration, dt, trial_rng);
         if (result.switched) {

@@ -81,6 +81,7 @@ RareEventEstimate subset_simulation(
       [&] { return std::vector<double>(dim); },
       [&](std::vector<double>& z, util::Rng& rng, std::size_t,
           ScorePartial& acc) {
+        obs::tag_kernel(obs::KernelTag::kRare);
         rng.normal_fill(z.data(), dim);
         acc.zs.insert(acc.zs.end(), z.begin(), z.end());
         acc.scores.push_back(score(z.data()));
@@ -105,6 +106,7 @@ RareEventEstimate subset_simulation(
         [&] { return std::vector<double>(2 * dim); },
         [&, m](std::vector<double>& buf, util::Rng& rng, std::size_t,
                ScorePartial& acc) {
+          obs::tag_kernel(obs::KernelTag::kRare);
           double* cur = buf.data();
           double* prop = buf.data() + dim;
           const std::size_t j = parents[rng.below(m)];

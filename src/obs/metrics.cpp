@@ -1,5 +1,7 @@
 #include "obs/metrics.h"
 
+#include <cmath>
+
 namespace mram::obs {
 
 namespace detail {
@@ -24,6 +26,7 @@ const char* counter_name(Counter c) {
     case Counter::kLlgBlocksW8: return "llg.blocks_w8";
     case Counter::kLlgBlocksW16: return "llg.blocks_w16";
     case Counter::kLlgBlocksGeneric: return "llg.blocks_generic";
+    case Counter::kLlgFlops: return "llg.flops";
     case Counter::kRareIsRounds: return "rare.is.rounds";
     case Counter::kRareSplitLevels: return "rare.split.levels";
     case Counter::kRareMcmcProposals: return "rare.mcmc.proposals";
@@ -33,6 +36,7 @@ const char* counter_name(Counter c) {
     case Counter::kShardMergeCalls: return "shard.merge_calls";
     case Counter::kShardMergeBytes: return "shard.merge_bytes";
     case Counter::kSweepPoints: return "sweep.points";
+    case Counter::kTraceSpansDropped: return "trace.spans_dropped";
     case Counter::kCount: break;
   }
   return "unknown";
@@ -43,6 +47,9 @@ const char* gauge_name(Gauge g) {
     case Gauge::kEngineThreads: return "engine.threads";
     case Gauge::kEngineChunkSize: return "engine.chunk_size";
     case Gauge::kLlgPreferredLanes: return "llg.preferred_lanes";
+    case Gauge::kLlgFlopsPerStep: return "llg.flops_per_step";
+    case Gauge::kPerfActive: return "perf.active";
+    case Gauge::kPerfFallbackReason: return "perf.fallback_reason";
     case Gauge::kCount: break;
   }
   return "unknown";
@@ -60,6 +67,56 @@ const char* hist_name(Hist h) {
   return "unknown";
 }
 
+const char* perf_event_name(PerfEvent e) {
+  switch (e) {
+    case PerfEvent::kCycles: return "cycles";
+    case PerfEvent::kInstructions: return "instructions";
+    case PerfEvent::kCacheRefs: return "cache_refs";
+    case PerfEvent::kCacheMisses: return "cache_misses";
+    case PerfEvent::kBranchMisses: return "branch_misses";
+    case PerfEvent::kStalledBackend: return "stalled_backend";
+    case PerfEvent::kCount: break;
+  }
+  return "unknown";
+}
+
+const char* kernel_tag_name(KernelTag t) {
+  switch (t) {
+    case KernelTag::kUntagged: return "untagged";
+    case KernelTag::kLlgW8: return "llg_w8";
+    case KernelTag::kLlgW16: return "llg_w16";
+    case KernelTag::kLlgGeneric: return "llg_generic";
+    case KernelTag::kLlgScalar: return "llg_scalar";
+    case KernelTag::kReadout: return "readout";
+    case KernelTag::kRare: return "rare";
+    case KernelTag::kMixed: return "mixed";
+    case KernelTag::kCount: break;
+  }
+  return "unknown";
+}
+
+double Histogram::quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q <= 0.0) return static_cast<double>(min);
+  if (q >= 1.0) return static_cast<double>(max);
+  const double target = q * static_cast<double>(count);
+  double cum = 0.0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const double next = cum + static_cast<double>(buckets[b]);
+    if (target <= next) {
+      const double f = (target - cum) / static_cast<double>(buckets[b]);
+      double v = b == 0 ? 2.0 * f
+                        : std::exp2(static_cast<double>(b) + f);
+      if (v < static_cast<double>(min)) v = static_cast<double>(min);
+      if (v > static_cast<double>(max)) v = static_cast<double>(max);
+      return v;
+    }
+    cum = next;
+  }
+  return static_cast<double>(max);
+}
+
 void Registry::merge_block(const MetricsBlock& block) {
   std::lock_guard<std::mutex> lock(mutex_);
   for (std::size_t i = 0; i < block.counters.size(); ++i) {
@@ -71,6 +128,25 @@ void Registry::merge_block(const MetricsBlock& block) {
         block.chunk_nanos;
     hists_[static_cast<std::size_t>(Hist::kEngineChunkNanos)].record(
         block.chunk_nanos);
+  }
+  if (block.perf_begin.valid && block.perf_end.valid) {
+    PerfAccum& acc = perf_[static_cast<std::size_t>(block.tag)];
+    for (std::size_t e = 0; e < PerfSample::kEvents; ++e) {
+      // A counter can appear to step backwards when the kernel reprograms
+      // the group mid-chunk; clamp at zero rather than wrap.
+      if (block.perf_end.value[e] > block.perf_begin.value[e]) {
+        acc.value[e] += block.perf_end.value[e] - block.perf_begin.value[e];
+      }
+    }
+    if (block.perf_end.time_enabled > block.perf_begin.time_enabled) {
+      acc.time_enabled +=
+          block.perf_end.time_enabled - block.perf_begin.time_enabled;
+    }
+    if (block.perf_end.time_running > block.perf_begin.time_running) {
+      acc.time_running +=
+          block.perf_end.time_running - block.perf_begin.time_running;
+    }
+    acc.chunks += 1;
   }
 }
 
@@ -113,6 +189,42 @@ Snapshot Registry::snapshot() const {
       snap.histograms[hist_name(static_cast<Hist>(i))] = hists_[i];
     }
   }
+  // Perf accumulations land in the counters map as plain u64s: shard-merge
+  // folds counters by addition, which is exactly the right semantics for
+  // event counts, enabled/running times and chunk tallies -- so the new
+  // sections need no new fold machinery. Per-tag keys first, then the
+  // cross-tag totals under the bare "perf." prefix.
+  PerfAccum total;
+  for (std::size_t t = 0; t < perf_.size(); ++t) {
+    const PerfAccum& acc = perf_[t];
+    if (acc.chunks == 0) continue;
+    const std::string prefix =
+        std::string("perf.") + kernel_tag_name(static_cast<KernelTag>(t));
+    snap.counters[prefix + ".chunks"] = acc.chunks;
+    for (std::size_t e = 0; e < PerfSample::kEvents; ++e) {
+      if (acc.value[e] != 0) {
+        snap.counters[prefix + "." +
+                      perf_event_name(static_cast<PerfEvent>(e))] =
+            acc.value[e];
+      }
+      total.value[e] += acc.value[e];
+    }
+    total.time_enabled += acc.time_enabled;
+    total.time_running += acc.time_running;
+    total.chunks += acc.chunks;
+  }
+  if (total.chunks > 0) {
+    snap.counters["perf.chunks"] = total.chunks;
+    snap.counters["perf.time_enabled_ns"] = total.time_enabled;
+    snap.counters["perf.time_running_ns"] = total.time_running;
+    for (std::size_t e = 0; e < PerfSample::kEvents; ++e) {
+      if (total.value[e] != 0) {
+        snap.counters[std::string("perf.") +
+                      perf_event_name(static_cast<PerfEvent>(e))] =
+            total.value[e];
+      }
+    }
+  }
   snap.series = series_;
   return snap;
 }
@@ -123,6 +235,7 @@ void Registry::reset() {
   gauges_.fill(0.0);
   gauge_set_.fill(false);
   hists_.fill(Histogram{});
+  perf_.fill(PerfAccum{});
   series_.clear();
 }
 

@@ -63,6 +63,7 @@ enum class Counter : std::uint16_t {
   kLlgBlocksW8,          ///< kernel calls through the fixed 8-lane body
   kLlgBlocksW16,         ///< kernel calls through the fixed 16-lane body
   kLlgBlocksGeneric,     ///< kernel calls through the variable-width body
+  kLlgFlops,             ///< est. flops executed (lane-steps x flops/step)
   kRareIsRounds,         ///< importance-sampling rounds run
   kRareSplitLevels,      ///< subset-simulation levels resolved
   kRareMcmcProposals,    ///< pCN MCMC proposals made
@@ -72,6 +73,7 @@ enum class Counter : std::uint16_t {
   kShardMergeCalls,      ///< merge-mode calls replayed from dumps
   kShardMergeBytes,      ///< bytes read back from shard dumps
   kSweepPoints,          ///< sweep grid points evaluated
+  kTraceSpansDropped,    ///< trace spans discarded by the per-thread cap
   kCount
 };
 
@@ -82,6 +84,9 @@ enum class Gauge : std::uint16_t {
   kEngineThreads,       ///< worker threads of the shared runner
   kEngineChunkSize,     ///< effective trials per chunk of the last call
   kLlgPreferredLanes,   ///< lane width preferred_lanes() selected
+  kLlgFlopsPerStep,     ///< documented flop count of one Heun lane-step
+  kPerfActive,          ///< 1 = hardware counter groups are live, 0 = fallback
+  kPerfFallbackReason,  ///< PerfFallback code when kPerfActive is 0
   kCount
 };
 
@@ -102,6 +107,70 @@ enum class Hist : std::uint16_t {
 const char* counter_name(Counter c);
 const char* gauge_name(Gauge g);
 const char* hist_name(Hist h);
+
+/// The grouped hardware counter set perfctr opens per worker thread. One
+/// group so the six counts are scheduled onto the PMU together and stay
+/// mutually consistent; the order here is the order events are opened and
+/// the order PERF_FORMAT_GROUP reads them back.
+enum class PerfEvent : std::uint8_t {
+  kCycles,          ///< PERF_COUNT_HW_CPU_CYCLES
+  kInstructions,    ///< PERF_COUNT_HW_INSTRUCTIONS
+  kCacheRefs,       ///< PERF_COUNT_HW_CACHE_REFERENCES
+  kCacheMisses,     ///< PERF_COUNT_HW_CACHE_MISSES
+  kBranchMisses,    ///< PERF_COUNT_HW_BRANCH_MISSES
+  kStalledBackend,  ///< PERF_COUNT_HW_STALLED_CYCLES_BACKEND
+  kCount
+};
+
+/// Stable snake-case event name ("cycles", "cache_misses", ...), used as
+/// the counter-key suffix in the metrics JSON.
+const char* perf_event_name(PerfEvent e);
+
+/// One group read of this thread's counters. valid is false when hardware
+/// profiling is off, unavailable, or the read failed -- callers treat an
+/// invalid sample as "no data", never as an error. time_enabled vs
+/// time_running exposes kernel multiplexing: running < enabled means the
+/// PMU was oversubscribed and the counts are scaled estimates.
+struct PerfSample {
+  static constexpr std::size_t kEvents =
+      static_cast<std::size_t>(PerfEvent::kCount);
+
+  std::array<std::uint64_t, kEvents> value{};
+  std::uint64_t time_enabled = 0;
+  std::uint64_t time_running = 0;
+  bool valid = false;
+};
+
+/// Kernel attribution for a chunk's perf delta. Trial bodies stamp the tag
+/// of the kernel they dispatch into (tag_kernel below); a chunk that runs
+/// more than one distinct kernel degrades to kMixed rather than guessing.
+/// Chunks are kernel-homogeneous for every current workload, so in practice
+/// kMixed stays empty.
+enum class KernelTag : std::uint8_t {
+  kUntagged,    ///< no trial body stamped a tag
+  kLlgW8,       ///< batched LLG through the fixed 8-lane body
+  kLlgW16,      ///< batched LLG through the fixed 16-lane (AVX-512) body
+  kLlgGeneric,  ///< batched LLG through the variable-width body
+  kLlgScalar,   ///< scalar reference LLG path
+  kReadout,     ///< read-path sampling (sense + disturb)
+  kRare,        ///< rare-event MCMC resampling
+  kMixed,       ///< chunk touched more than one kernel
+  kCount
+};
+
+/// Stable snake-case tag name ("llg_w8", "readout", ...), used as the
+/// counter-key infix in the metrics JSON ("perf.llg_w8.cycles").
+const char* kernel_tag_name(KernelTag t);
+
+/// Exact unsigned fold of chunk perf deltas, kept per KernelTag in the
+/// registry and emitted into the snapshot counters map (so shard-merge's
+/// counters-add semantics fold it with no new machinery).
+struct PerfAccum {
+  std::array<std::uint64_t, PerfSample::kEvents> value{};
+  std::uint64_t time_enabled = 0;
+  std::uint64_t time_running = 0;
+  std::uint64_t chunks = 0;  ///< chunks that contributed a valid delta
+};
 
 /// Power-of-two-bucketed histogram of u64 values. Bucket b counts values v
 /// with bit_width(v) == b + 1, i.e. v in [2^b, 2^(b+1)); 0 lands in bucket
@@ -142,6 +211,14 @@ struct Histogram {
     return count ? static_cast<double>(total) / static_cast<double>(count)
                  : 0.0;
   }
+
+  /// Quantile estimate from the bucket tallies: the target rank is located
+  /// in its bucket and interpolated log-linearly within it (bucket b spans
+  /// [2^b, 2^(b+1)), so fraction f maps to 2^(b+f); bucket 0 holds {0, 1}
+  /// and interpolates linearly). Clamped to the observed [min, max], which
+  /// also makes single-value histograms exact. q outside (0, 1) returns the
+  /// matching extreme.
+  double quantile(double q) const;
 };
 
 /// Per-chunk (per-worker-thread-local) accumulation unit: a fixed counter
@@ -151,6 +228,11 @@ struct MetricsBlock {
   std::array<std::uint64_t, static_cast<std::size_t>(Counter::kCount)>
       counters{};
   std::uint64_t chunk_nanos = 0;  ///< wall time of this chunk's execution
+  /// Group reads bracketing the chunk body (valid only with --perf on a
+  /// host whose PMU opened); the registry folds end - begin under tag.
+  PerfSample perf_begin;
+  PerfSample perf_end;
+  KernelTag tag = KernelTag::kUntagged;
 
   void add(Counter c, std::uint64_t n) {
     counters[static_cast<std::size_t>(c)] += n;
@@ -203,13 +285,28 @@ class Registry {
   std::array<double, static_cast<std::size_t>(Gauge::kCount)> gauges_{};
   std::array<bool, static_cast<std::size_t>(Gauge::kCount)> gauge_set_{};
   std::array<Histogram, static_cast<std::size_t>(Hist::kCount)> hists_{};
+  std::array<PerfAccum, static_cast<std::size_t>(KernelTag::kCount)> perf_{};
   std::map<std::string, std::vector<std::pair<double, double>>> series_;
 };
 
 namespace detail {
 extern std::atomic<Registry*> g_registry;
 extern thread_local MetricsBlock* tl_block;
+/// Process-wide hardware-profiling switch (perfctr.cpp owns the storage).
+extern std::atomic<bool> g_perf_profiling;
 }  // namespace detail
+
+/// True when --perf turned chunk-boundary hardware sampling on. Flipped by
+/// set_perf_profiling() in perfctr.h; checked (one relaxed-ish atomic load)
+/// per chunk, never per trial.
+inline bool perf_profiling_enabled() {
+  return detail::g_perf_profiling.load(std::memory_order_acquire);
+}
+
+/// Reads the calling thread's counter group into `out` (perfctr.cpp). The
+/// group is opened lazily on first use per thread and closed at thread
+/// exit; when profiling is off or the open failed, `out` stays invalid.
+void perf_thread_sample(PerfSample& out);
 
 /// Installs (or, with nullptr, removes) the process-wide registry. Not
 /// thread-safe against concurrent recording: install before the run starts,
@@ -243,6 +340,20 @@ inline void counter_add(Counter c, std::uint64_t n = 1) {
     return;
   }
   if (Registry* r = registry()) r->add(c, n);
+}
+
+/// Stamps the executing chunk's kernel attribution. Trial bodies call this
+/// where they dispatch into a kernel; the first tag wins and a conflicting
+/// second tag degrades the chunk to kMixed. Costs one thread-local load
+/// plus a compare -- and nothing at all with metrics disabled.
+inline void tag_kernel(KernelTag t) {
+  if (MetricsBlock* b = detail::tl_block) {
+    if (b->tag == KernelTag::kUntagged) {
+      b->tag = t;
+    } else if (b->tag != t) {
+      b->tag = KernelTag::kMixed;
+    }
+  }
 }
 
 /// Gauge set (registry-direct; safe from chunk contexts only for values
@@ -294,6 +405,10 @@ class ChunkScope {
       prev_ = detail::tl_block;
       detail::tl_block = block_;
       sw_.reset();
+      // Perf reads bracket the chunk body *inside* the wall-clock window,
+      // so the hardware window is never wider than chunk_nanos. Guarded by
+      // the profiling switch: a plain --metrics run never touches perf fds.
+      if (perf_profiling_enabled()) perf_thread_sample(block_->perf_begin);
     }
   }
 
@@ -301,6 +416,7 @@ class ChunkScope {
   /// body (the destructor only restores the thread-local).
   void finish(std::uint64_t trials) {
     if (!block_) return;
+    if (block_->perf_begin.valid) perf_thread_sample(block_->perf_end);
     block_->chunk_nanos = sw_.nanos();
     block_->add(Counter::kEngineChunks, 1);
     block_->add(Counter::kEngineTrials, trials);

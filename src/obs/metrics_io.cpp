@@ -26,7 +26,16 @@ std::string histogram_json(const Histogram& h) {
   std::ostringstream os;
   os << "{\"count\": " << u64_str(h.count) << ", \"total\": "
      << u64_str(h.total) << ", \"min\": " << u64_str(h.count ? h.min : 0)
-     << ", \"max\": " << u64_str(h.max) << ", \"buckets\": [";
+     << ", \"max\": " << u64_str(h.max);
+  if (h.count > 0) {
+    // Percentile estimates, recomputed here from the (possibly folded)
+    // bucket tallies; the parser ignores them, so they survive a /1 reader
+    // and are always consistent with the buckets they sit next to.
+    os << ", \"p50\": " << dbl_str(h.quantile(0.50))
+       << ", \"p90\": " << dbl_str(h.quantile(0.90))
+       << ", \"p99\": " << dbl_str(h.quantile(0.99));
+  }
+  os << ", \"buckets\": [";
   bool first = true;
   for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
     if (h.buckets[b] == 0) continue;
@@ -100,6 +109,16 @@ std::string snapshot_json(const Snapshot& s, const std::string& indent) {
       first = false;
     }
   }, first_sec);
+  if (const auto derived = derived_metrics(s); !derived.empty()) {
+    emit_map("derived", [&] {
+      bool first = true;
+      for (const auto& [name, v] : derived) {
+        os << (first ? "" : ", ") << "\"" << json_escape(name)
+           << "\": " << dbl_str(v);
+        first = false;
+      }
+    }, first_sec);
+  }
   emit_map("series", [&] {
     bool first = true;
     for (const auto& [name, pts] : s.series) {
@@ -157,6 +176,69 @@ Snapshot snapshot_from_json(const JsonValue& v, const std::string& what) {
 
 }  // namespace
 
+std::map<std::string, double> derived_metrics(const Snapshot& s) {
+  const auto counter = [&](const char* name) -> double {
+    const auto it = s.counters.find(name);
+    return it == s.counters.end() ? 0.0 : static_cast<double>(it->second);
+  };
+  const auto gauge = [&](const char* name) -> double {
+    const auto it = s.gauges.find(name);
+    return it == s.gauges.end() ? 0.0 : it->second;
+  };
+
+  std::map<std::string, double> d;
+  const double trials = counter("engine.trials");
+  const double busy_ns = counter("engine.busy_ns");
+
+  // Software fallback rows: steady-clock busy time over retired trials.
+  // Always derivable when the engine ran; these ARE the efficiency report
+  // on hosts where perf_event_open is unavailable.
+  if (trials > 0.0 && busy_ns > 0.0) {
+    d["engine.ns_per_trial"] = busy_ns / trials;
+    d["engine.trials_per_sec"] = 1e9 * trials / busy_ns;
+  }
+
+  const double cycles = counter("perf.cycles");
+  const double instructions = counter("perf.instructions");
+  const double cache_refs = counter("perf.cache_refs");
+  const double cache_misses = counter("perf.cache_misses");
+  const double branch_misses = counter("perf.branch_misses");
+  const double stalled = counter("perf.stalled_backend");
+  const double enabled_ns = counter("perf.time_enabled_ns");
+  const double running_ns = counter("perf.time_running_ns");
+
+  if (cycles > 0.0) {
+    if (instructions > 0.0) d["perf.ipc"] = instructions / cycles;
+    if (stalled > 0.0) d["perf.stalled_backend_frac"] = stalled / cycles;
+    if (trials > 0.0) d["perf.cycles_per_trial"] = cycles / trials;
+  }
+  if (cache_refs > 0.0) d["perf.cache_miss_rate"] = cache_misses / cache_refs;
+  if (instructions > 0.0 && branch_misses > 0.0) {
+    d["perf.branch_miss_per_kinsn"] = 1e3 * branch_misses / instructions;
+  }
+  // running < enabled means the kernel multiplexed the group onto an
+  // oversubscribed PMU and the raw counts are extrapolations.
+  if (enabled_ns > 0.0) {
+    d["perf.multiplex_frac"] =
+        running_ns >= enabled_ns ? 0.0 : 1.0 - running_ns / enabled_ns;
+  }
+
+  // Estimated flops/cycle for the batched LLG kernels: the llg.flops
+  // counter (executed lane-steps times the documented per-step flop count,
+  // accumulated lock-free next to the occupancy counters) over the cycles
+  // attributed to the LLG tags. An estimate -- llg.flops spans all batched
+  // LLG work while the tag split is per-chunk -- but exact enough to read
+  // SIMD occupancy off.
+  const double flops = counter("llg.flops");
+  const double llg_cycles =
+      counter("perf.llg_w8.cycles") + counter("perf.llg_w16.cycles") +
+      counter("perf.llg_generic.cycles") + counter("perf.llg_scalar.cycles");
+  if (flops > 0.0 && llg_cycles > 0.0) {
+    d["llg.est_flops_per_cycle"] = flops / llg_cycles;
+  }
+  return d;
+}
+
 void fold_snapshot(Snapshot& into, const Snapshot& from) {
   for (const auto& [name, v] : from.counters) into.counters[name] += v;
   for (const auto& [name, v] : from.gauges) into.gauges[name] = v;
@@ -208,10 +290,10 @@ MetricsDoc MetricsDoc::parse(const std::string& json_text) {
   }
   const std::string& schema =
       root.expect("schema", "metrics document").as_string("schema");
-  if (schema != kSchema) {
+  if (schema != kSchema && schema != kSchemaV1) {
     throw util::ConfigError("metrics document: unsupported schema '" +
                             schema + "' (this build reads '" + kSchema +
-                            "')");
+                            "' and '" + kSchemaV1 + "')");
   }
   MetricsDoc doc;
   if (const JsonValue* tool = root.get("tool")) {

@@ -1,0 +1,232 @@
+#include "obs/perfctr.h"
+
+#include <cstring>
+
+#ifdef __linux__
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+namespace mram::obs {
+
+namespace detail {
+std::atomic<bool> g_perf_profiling{false};
+}  // namespace detail
+
+#ifdef __linux__
+
+namespace {
+
+long sys_perf_event_open(perf_event_attr* attr, pid_t pid, int cpu,
+                         int group_fd, unsigned long flags) {
+  return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+PerfFallback classify_errno(int err) {
+  switch (err) {
+    case EPERM:
+    case EACCES:
+      return PerfFallback::kPermission;
+    case ENOENT:
+    case ENODEV:
+    case EOPNOTSUPP:
+    case ENOSYS:
+      return PerfFallback::kUnsupported;
+    default:
+      return PerfFallback::kError;
+  }
+}
+
+std::string describe_errno(int err) {
+  switch (classify_errno(err)) {
+    case PerfFallback::kPermission:
+      return "perf_event_open denied (check kernel.perf_event_paranoid or "
+             "container seccomp policy)";
+    case PerfFallback::kUnsupported:
+      return "no usable PMU (common in VMs and containers)";
+    default:
+      return std::string("perf_event_open failed: ") + std::strerror(err);
+  }
+}
+
+/// The six-event hardware set, in PerfEvent order.
+constexpr PerfEventSpec kHardwareSet[PerfSample::kEvents] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_STALLED_CYCLES_BACKEND},
+};
+
+/// PERF_FORMAT_GROUP read layout for up to kEvents counters (no
+/// PERF_FORMAT_ID, so values are one u64 per event in open order).
+struct GroupReadBuf {
+  std::uint64_t nr = 0;
+  std::uint64_t time_enabled = 0;
+  std::uint64_t time_running = 0;
+  std::uint64_t values[PerfSample::kEvents] = {};
+};
+
+}  // namespace
+
+PerfGroup::~PerfGroup() { close(); }
+
+void PerfGroup::close() {
+  for (std::size_t i = 0; i < PerfSample::kEvents; ++i) {
+    if (fds_[i] >= 0) {
+      ::close(fds_[i]);
+      fds_[i] = -1;
+    }
+  }
+  n_open_ = 0;
+}
+
+PerfStatus PerfGroup::open(const PerfEventSpec* specs, std::size_t n) {
+  close();
+  if (n > PerfSample::kEvents) n = PerfSample::kEvents;
+  PerfStatus status;
+  if (n == 0) {
+    status.fallback = PerfFallback::kError;
+    status.detail = "empty event set";
+    return status;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof attr);
+    attr.type = specs[i].type;
+    attr.size = sizeof attr;
+    attr.config = specs[i].config;
+    // Count user-space only: the kernels under study run entirely in user
+    // space, and excluding the kernel keeps the group openable at
+    // perf_event_paranoid = 2 (the common unprivileged default).
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                       PERF_FORMAT_TOTAL_TIME_RUNNING;
+    // The leader starts disabled so the siblings attach before anything
+    // counts; one group-wide ioctl below starts them together.
+    attr.disabled = i == 0 ? 1 : 0;
+    const int group_fd = i == 0 ? -1 : fds_[0];
+    const long fd = sys_perf_event_open(&attr, 0, -1, group_fd, 0);
+    if (fd < 0) {
+      status.error = errno;
+      status.fallback = classify_errno(status.error);
+      status.detail = describe_errno(status.error);
+      close();
+      return status;
+    }
+    fds_[i] = static_cast<int>(fd);
+  }
+  n_open_ = n;
+  if (ioctl(fds_[0], PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP) != 0 ||
+      ioctl(fds_[0], PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP) != 0) {
+    status.error = errno;
+    status.fallback = PerfFallback::kError;
+    status.detail = std::string("perf group enable failed: ") +
+                    std::strerror(status.error);
+    close();
+    return status;
+  }
+  status.available = true;
+  status.fallback = PerfFallback::kNone;
+  return status;
+}
+
+PerfStatus PerfGroup::open_hardware() {
+  return open(kHardwareSet, PerfSample::kEvents);
+}
+
+PerfStatus PerfGroup::open_software() {
+  static constexpr PerfEventSpec kSoftwareSet[3] = {
+      {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK},
+      {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_PAGE_FAULTS},
+      {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_CONTEXT_SWITCHES},
+  };
+  return open(kSoftwareSet, 3);
+}
+
+bool PerfGroup::read(PerfSample& out) const {
+  out = PerfSample{};
+  if (n_open_ == 0) return false;
+  GroupReadBuf buf;
+  const std::size_t want =
+      sizeof(std::uint64_t) * (3 + n_open_);
+  const ssize_t got = ::read(fds_[0], &buf, want);
+  if (got < 0 || static_cast<std::size_t>(got) < want ||
+      buf.nr != n_open_) {
+    return false;
+  }
+  for (std::size_t i = 0; i < n_open_; ++i) out.value[i] = buf.values[i];
+  out.time_enabled = buf.time_enabled;
+  out.time_running = buf.time_running;
+  out.valid = true;
+  return true;
+}
+
+PerfStatus perf_probe() {
+  PerfGroup probe;
+  return probe.open_hardware();
+}
+
+namespace {
+
+/// Each worker thread lazily opens its own group the first time a sampled
+/// chunk runs on it; the fds live until thread exit (the thread_local
+/// destructor closes them). Toggling profiling off and on across scenarios
+/// reuses the open group -- the registry only ever folds deltas, so a
+/// group that kept counting between scenarios contributes nothing stale.
+struct ThreadPerf {
+  PerfGroup group;
+  bool tried = false;
+};
+
+thread_local ThreadPerf tl_perf;
+
+}  // namespace
+
+void perf_thread_sample(PerfSample& out) {
+  out = PerfSample{};
+  if (!perf_profiling_enabled()) return;
+  if (!tl_perf.tried) {
+    tl_perf.tried = true;
+    tl_perf.group.open_hardware();
+  }
+  if (tl_perf.group.is_open()) tl_perf.group.read(out);
+}
+
+#else  // !__linux__
+
+PerfGroup::~PerfGroup() = default;
+void PerfGroup::close() {}
+
+PerfStatus PerfGroup::open(const PerfEventSpec*, std::size_t) {
+  PerfStatus status;
+  status.fallback = PerfFallback::kNotLinux;
+  status.detail = "perf_event profiling requires Linux";
+  return status;
+}
+
+PerfStatus PerfGroup::open_hardware() { return open(nullptr, 0); }
+PerfStatus PerfGroup::open_software() { return open(nullptr, 0); }
+
+bool PerfGroup::read(PerfSample& out) const {
+  out = PerfSample{};
+  return false;
+}
+
+PerfStatus perf_probe() { return PerfGroup().open_hardware(); }
+
+void perf_thread_sample(PerfSample& out) { out = PerfSample{}; }
+
+#endif  // __linux__
+
+void set_perf_profiling(bool on) {
+  detail::g_perf_profiling.store(on, std::memory_order_release);
+}
+
+}  // namespace mram::obs

@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+// Hardware-counter self-profiling on top of Linux perf_event_open.
+//
+// One PerfGroup per worker thread opens the six-event hardware set of
+// PerfEvent as a single counter group (cycles leads; the siblings schedule
+// onto the PMU together), counting user-space only, pinned to the calling
+// thread. ChunkScope reads the group once at each chunk boundary -- two
+// syscalls per chunk, zero work per trial -- and the registry folds the
+// deltas per KernelTag as exact unsigned counts. The trial hot path is
+// untouched, so the byte-identical-CSV contract of the obs stack holds with
+// --perf on or off (pinned by test at 1 and 4 threads).
+//
+// Unavailability is a first-class, *reported* state, never a failure:
+// containers commonly deny the syscall (EPERM under seccomp or
+// kernel.perf_event_paranoid >= 3 without CAP_PERFMON) and VMs commonly
+// expose no PMU (ENOENT). perf_probe() classifies the reason, the run
+// records it as the perf.fallback_reason gauge, and the derived efficiency
+// report degrades to the software counters the engine always keeps
+// (steady-clock busy time + retired-trial counts).
+
+namespace mram::obs {
+
+/// Why hardware profiling degraded; recorded as the perf.fallback_reason
+/// gauge when perf.active is 0. Values are part of the metrics contract --
+/// append, never renumber.
+enum class PerfFallback : int {
+  kNone = 0,         ///< hardware groups are live
+  kPermission = 1,   ///< EPERM/EACCES: perf_event_paranoid or seccomp
+  kUnsupported = 2,  ///< ENOENT/ENODEV/EOPNOTSUPP/ENOSYS: no usable PMU
+  kNotLinux = 3,     ///< built without perf_event support
+  kError = 4,        ///< unexpected errno (see PerfStatus::error)
+};
+
+/// Result of opening (or probing for) a counter group.
+struct PerfStatus {
+  bool available = false;
+  PerfFallback fallback = PerfFallback::kNotLinux;
+  int error = 0;       ///< errno of the failed open (0 when available)
+  std::string detail;  ///< one-line human-readable reason
+};
+
+/// Event selector for PerfGroup::open -- (type, config) as the kernel ABI
+/// defines them (PERF_TYPE_HARDWARE / PERF_COUNT_HW_*, ...). Exposed so
+/// tests can exercise the group machinery with software events on hosts
+/// whose PMU is hidden (VMs, containers).
+struct PerfEventSpec {
+  std::uint32_t type = 0;
+  std::uint64_t config = 0;
+};
+
+/// A perf_event counter group owned by (and only readable from) the thread
+/// that opened it. Non-copyable; close() (or the destructor) releases the
+/// fds. On non-Linux builds every open reports kNotLinux and read() fails.
+class PerfGroup {
+ public:
+  PerfGroup() = default;
+  ~PerfGroup();
+  PerfGroup(const PerfGroup&) = delete;
+  PerfGroup& operator=(const PerfGroup&) = delete;
+
+  /// Opens the standard six-event hardware set in PerfEvent order.
+  PerfStatus open_hardware();
+
+  /// Opens an arbitrary group (first spec leads); n is clamped to
+  /// PerfSample::kEvents. Used by tests with PERF_TYPE_SOFTWARE events.
+  PerfStatus open(const PerfEventSpec* specs, std::size_t n);
+
+  /// Opens a three-event software group (task-clock leader, page-faults,
+  /// context-switches) into value slots 0..2 -- available even where the
+  /// hardware PMU is not, which is what makes the group-read path testable
+  /// in CI containers.
+  PerfStatus open_software();
+
+  bool is_open() const { return n_open_ > 0; }
+  std::size_t n_events() const { return n_open_; }
+
+  /// One group read into `out` (sets out.valid). False when the group is
+  /// not open or the read syscall failed.
+  bool read(PerfSample& out) const;
+
+  void close();
+
+ private:
+  int fds_[PerfSample::kEvents] = {-1, -1, -1, -1, -1, -1};
+  std::size_t n_open_ = 0;
+};
+
+/// Opens and immediately closes a hardware group on the calling thread:
+/// the cheap availability check run_command performs once before enabling
+/// chunk-boundary sampling.
+PerfStatus perf_probe();
+
+/// Flips the process-wide profiling switch perf_profiling_enabled() reads.
+/// Worker threads lazily open their group on the first sampled chunk and
+/// keep it until thread exit; turning the switch off just makes samples
+/// invalid again.
+void set_perf_profiling(bool on);
+
+/// RAII guard for set_perf_profiling -- mirrors ScopedRegistry.
+class ScopedPerfProfiling {
+ public:
+  explicit ScopedPerfProfiling(bool on = true) { set_perf_profiling(on); }
+  ~ScopedPerfProfiling() { set_perf_profiling(false); }
+  ScopedPerfProfiling(const ScopedPerfProfiling&) = delete;
+  ScopedPerfProfiling& operator=(const ScopedPerfProfiling&) = delete;
+};
+
+}  // namespace mram::obs

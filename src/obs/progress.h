@@ -64,6 +64,16 @@ class Progress {
 
   bool live() const { return live_; }
 
+  /// Bar state, exposed for tests of the ETA math: total trials announced
+  /// by the current call (shard-slice-aware -- the runner announces only
+  /// the slice this process executes) and trials ticked so far.
+  std::uint64_t trials_total() const {
+    return trials_total_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t trials_done() const {
+    return trials_done_.load(std::memory_order_relaxed);
+  }
+
  private:
   void redraw_locked();
   std::string render_line();

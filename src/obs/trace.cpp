@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "obs/json.h"
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace mram::obs {
@@ -32,8 +33,9 @@ void set_trace(TraceRecorder* r) {
   detail::g_trace.store(r, std::memory_order_release);
 }
 
-TraceRecorder::TraceRecorder()
-    : id_(g_next_recorder_id.fetch_add(1, std::memory_order_relaxed)) {
+TraceRecorder::TraceRecorder(std::size_t max_spans_per_thread)
+    : id_(g_next_recorder_id.fetch_add(1, std::memory_order_relaxed)),
+      max_spans_per_thread_(max_spans_per_thread) {
   // Register the owning thread eagerly so it is always tid 0 ("main") and
   // scenario-level spans land on a stable track.
   ThreadBuf& main_buf = this_thread();
@@ -60,6 +62,14 @@ void TraceRecorder::add_span(const char* category, std::string name,
                              std::uint64_t start_ns, std::uint64_t dur_ns,
                              std::string args_json) {
   ThreadBuf& buf = this_thread();
+  if (buf.events.size() >= max_spans_per_thread_) {
+    // Past the cap: count, both here (for the CLI warning) and into the
+    // metrics stack (so CI can assert the counter is zero). Dropping a
+    // span changes no observable result -- same contract as recording one.
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    counter_add(Counter::kTraceSpansDropped);
+    return;
+  }
   buf.events.push_back(Event{category, std::move(name), start_ns, dur_ns,
                              std::move(args_json)});
 }

@@ -37,7 +37,15 @@ namespace mram::obs {
 
 class TraceRecorder {
  public:
-  TraceRecorder();
+  /// Per-thread span cap. A span is ~80 bytes plus its name, so the default
+  /// bounds a runaway Mb-scale sweep at tens of MB per thread instead of
+  /// unbounded growth; spans past the cap are counted (dropped() and the
+  /// trace.spans_dropped metrics counter), never recorded.
+  static constexpr std::size_t kDefaultMaxSpansPerThread = std::size_t{1}
+                                                           << 18;
+
+  explicit TraceRecorder(
+      std::size_t max_spans_per_thread = kDefaultMaxSpansPerThread);
   ~TraceRecorder();
 
   TraceRecorder(const TraceRecorder&) = delete;
@@ -59,6 +67,12 @@ class TraceRecorder {
   void write_file(const std::string& path,
                   const std::string& process_name) const;
 
+  /// Spans discarded by the per-thread cap so far. Exact once the
+  /// instrumented work has quiesced (same contract as to_json).
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Event {
     const char* category;
@@ -78,6 +92,8 @@ class TraceRecorder {
 
   Stopwatch origin_;
   std::uint64_t id_;  ///< process-unique, never reused (thread cache key)
+  std::size_t max_spans_per_thread_;
+  std::atomic<std::uint64_t> dropped_{0};
   mutable std::mutex mutex_;  ///< guards registration + to_json
   std::vector<std::unique_ptr<ThreadBuf>> threads_;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace mram::rdo {
@@ -106,6 +107,11 @@ ReadErrorModel::ErrorBudget ReadErrorModel::error_budget(
 ReadOutcome ReadErrorModel::sample_read(const OperatingPoint& op,
                                         MtjState stored, double hz_stray,
                                         double t, util::Rng& rng) const {
+  // Every sampling read-path trial body funnels through here, so this one
+  // tag attributes the RER / stage / disturb / yield drivers' chunks.
+  // noise_margin stays untagged on purpose: it is the score function of the
+  // rare-event drivers, whose chunks tag kRare.
+  obs::tag_kernel(obs::KernelTag::kReadout);
   // Draw 1: this read's cell TMR deviation. Drawn for both states so the
   // stream consumption never depends on the stored data; it only perturbs
   // the AP branch (R_P carries no TMR term).

@@ -32,16 +32,21 @@ int usage(std::ostream& os, int code) {
         "                 [--data DIR] [--trial-scale X]\n"
         "                 [--shard I/N --partials DIR]\n"
         "                 [--checkpoint DIR [--resume]]\n"
-        "                 [--metrics FILE] [--trace FILE]\n"
+        "                 [--metrics FILE] [--trace FILE] [--perf]\n"
         "                 [--progress] [--quiet]\n"
         "\n"
         "Observability (none of these can change results):\n"
         "  --metrics FILE  per-scenario metrics snapshot (JSON, schema\n"
-        "                  mram.metrics/1): trial/chunk counts, wall and\n"
-        "                  busy time, lane occupancy, rare-event rounds...\n"
+        "                  mram.metrics/2): trial/chunk counts, wall and\n"
+        "                  busy time, lane occupancy, rare-event rounds,\n"
+        "                  chunk-time percentiles... FILE '-' = stdout\n"
         "  --trace FILE    Chrome trace-event JSON; open in Perfetto\n"
         "                  (ui.perfetto.dev) to see scenario > sweep-point\n"
-        "                  > chunk spans on per-thread tracks\n"
+        "                  > chunk spans on per-thread tracks; '-' = stdout\n"
+        "  --perf          hardware-counter profiling (needs --metrics):\n"
+        "                  per-kernel cycles/IPC/miss rates via perf_event\n"
+        "                  groups read at chunk boundaries; falls back to\n"
+        "                  software timers where perf_event is unavailable\n"
         "  --progress      live progress/ETA line on stderr\n"
         "  --quiet         suppress the stderr summary and progress\n";
   return code;
@@ -204,6 +209,10 @@ ParsedArgs parse_common(const std::vector<std::string>& args,
       p.opt.metrics_in.push_back(value());
     } else if (a == "--trace") {
       p.opt.trace_file = value();
+    } else if (!merge_tool && a == "--perf") {
+      // Scenario tool only: the merge replays dumps without executing
+      // chunks, so there is nothing for the counter groups to measure.
+      p.opt.perf = true;
     } else if (a == "--progress") {
       p.opt.progress = true;
     } else if (a == "--quiet") {

@@ -9,6 +9,7 @@
 
 #include "obs/metrics.h"
 #include "obs/metrics_io.h"
+#include "obs/perfctr.h"
 #include "obs/progress.h"
 #include "obs/stopwatch.h"
 #include "obs/trace.h"
@@ -50,6 +51,23 @@ eng::ShardIo shard_io_for(const RunCommandOptions& opt,
   return io;
 }
 
+/// Human-readable nanoseconds for the summary percentile columns.
+std::string format_ns(double ns) {
+  const char* unit = "ns";
+  double v = ns;
+  if (v >= 1e9) {
+    v /= 1e9;
+    unit = "s";
+  } else if (v >= 1e6) {
+    v /= 1e6;
+    unit = "ms";
+  } else if (v >= 1e3) {
+    v /= 1e3;
+    unit = "us";
+  }
+  return util::format_double(v, v >= 100.0 ? 0 : (v >= 10.0 ? 1 : 2)) + unit;
+}
+
 }  // namespace
 
 int run_scenarios(const ScenarioRegistry& registry,
@@ -76,11 +94,21 @@ int run_scenarios(const ScenarioRegistry& registry,
     throw util::ConfigError(
         "--metrics-in needs --metrics FILE for the folded output");
   }
+  if (opt.perf && opt.metrics_file.empty()) {
+    throw util::ConfigError(
+        "--perf needs --metrics FILE (the efficiency report is part of the "
+        "metrics document)");
+  }
 
   if (!opt.out_dir.empty()) {
     std::filesystem::create_directories(opt.out_dir);
   }
   const auto sink = make_sink(opt.format, out, opt.out_dir);
+
+  // "-" streams a JSON document to `out`; the one-line scenario statuses
+  // then move to the stderr gate so stdout stays a single parseable
+  // document (pipeable into json.tool without temp files).
+  const bool json_on_out = opt.metrics_file == "-" || opt.trace_file == "-";
 
   eng::RunnerConfig runner_cfg;
   runner_cfg.threads = opt.threads;
@@ -109,16 +137,50 @@ int run_scenarios(const ScenarioRegistry& registry,
     trace_guard.emplace(tracer.get());
   }
 
+  // Hardware-counter profiling: one probe decides for the whole run, and
+  // unavailability is a reported state (the fallback gauges below), never a
+  // failure -- containers routinely deny perf_event_open or hide the PMU.
+  obs::PerfStatus perf_status;
+  std::optional<obs::ScopedPerfProfiling> perf_guard;
+  if (opt.perf) {
+    perf_status = obs::perf_probe();
+    if (perf_status.available) {
+      perf_guard.emplace();
+    } else if (!opt.quiet) {
+      progress.print("perf: hardware counters unavailable (" +
+                     perf_status.detail +
+                     "); reporting software timers only\n");
+    }
+  }
+
   int failures = 0;
   double total_secs = 0.0;
-  util::Table summary({"scenario", "status", "tables", "eff. trials",
-                       "rel err", "wall (s)"});
+  std::vector<std::string> columns{"scenario", "status",  "tables",
+                                   "eff. trials", "rel err", "wall (s)"};
+  if (want_metrics) {
+    // Chunk wall-time percentiles from the power-of-2 histogram: the tail
+    // (p99 vs p50) is the load-imbalance / frequency-throttling signal.
+    columns.insert(columns.end(), {"chunk p50", "p90", "p99"});
+  }
+  util::Table summary(columns);
   for (std::size_t idx = 0; idx < names.size(); ++idx) {
     const auto& name = names[idx];
     const auto& scenario = registry.at(name);
-    if (want_metrics) metrics_registry.reset();  // per-scenario snapshots
+    if (want_metrics) {
+      metrics_registry.reset();  // per-scenario snapshots
+      if (opt.perf) {
+        metrics_registry.set(obs::Gauge::kPerfActive,
+                             perf_status.available ? 1.0 : 0.0);
+        if (!perf_status.available) {
+          metrics_registry.set(
+              obs::Gauge::kPerfFallbackReason,
+              static_cast<double>(perf_status.fallback));
+        }
+      }
+    }
     progress.begin_scenario(name, idx, names.size());
     obs::Stopwatch watch;
+    std::vector<std::string> row;
     try {
       obs::TraceSpan scenario_span("scenario", [&] { return name; });
       const eng::ShardIo io = shard_io_for(opt, name);
@@ -156,34 +218,52 @@ int run_scenarios(const ScenarioRegistry& registry,
         const RunMeta meta{opt.seed, runner.threads(), opt.trial_scale};
         sink->write(scenario.info, meta, results);
       }
-      summary.add_row({name, "ok", std::to_string(results.tables.size()),
-                       results.effective_trials > 0.0
-                           ? util::format_scientific(results.effective_trials)
-                           : "-",
-                       results.rel_error >= 0.0
-                           ? util::format_scientific(results.rel_error)
-                           : "-",
-                       util::format_double(secs, 2)});
+      row = {name, "ok", std::to_string(results.tables.size()),
+             results.effective_trials > 0.0
+                 ? util::format_scientific(results.effective_trials)
+                 : "-",
+             results.rel_error >= 0.0
+                 ? util::format_scientific(results.rel_error)
+                 : "-",
+             util::format_double(secs, 2)};
+      std::ostringstream status;
       if (io.mode == eng::ShardMode::kShard) {
-        out << "ok   " << name << " (shard " << io.shard.index << "/"
-            << io.shard.count << ", " << runner.shard_calls()
-            << " calls dumped, " << util::format_double(secs, 2) << " s)\n";
+        status << "ok   " << name << " (shard " << io.shard.index << "/"
+               << io.shard.count << ", " << runner.shard_calls()
+               << " calls dumped, " << util::format_double(secs, 2)
+               << " s)\n";
       } else if (!opt.out_dir.empty()) {
-        out << "ok   " << name << " (" << results.tables.size()
-            << " tables, " << util::format_double(secs, 2) << " s)\n";
+        status << "ok   " << name << " (" << results.tables.size()
+               << " tables, " << util::format_double(secs, 2) << " s)\n";
+      }
+      if (!status.str().empty()) {
+        if (json_on_out) {
+          progress.print(status.str());
+        } else {
+          out << status.str();
+        }
       }
     } catch (const std::exception& e) {
       ++failures;
       const double secs = watch.seconds();
       total_secs += secs;
       progress.end_scenario();
-      summary.add_row(
-          {name, "FAIL", "-", "-", "-", util::format_double(secs, 2)});
+      row = {name, "FAIL", "-", "-", "-", util::format_double(secs, 2)};
       progress.print("FAIL " + name + ": " + e.what() + "\n");
     }
     if (want_metrics) {
-      doc.scenario(name).snapshot = metrics_registry.snapshot();
+      const obs::Snapshot snap = metrics_registry.snapshot();
+      doc.scenario(name).snapshot = snap;
+      const auto chunk_ns = snap.histograms.find("engine.chunk_ns");
+      if (chunk_ns != snap.histograms.end() && chunk_ns->second.count > 0) {
+        row.push_back(format_ns(chunk_ns->second.quantile(0.50)));
+        row.push_back(format_ns(chunk_ns->second.quantile(0.90)));
+        row.push_back(format_ns(chunk_ns->second.quantile(0.99)));
+      } else {
+        row.insert(row.end(), {"-", "-", "-"});
+      }
     }
+    summary.add_row(row);
   }
   progress.finish();
   // Per-scenario wall-clock summary, always on `err` (through the gate) so
@@ -208,11 +288,27 @@ int run_scenarios(const ScenarioRegistry& registry,
     for (const auto& path : opt.metrics_in) {
       doc.fold(obs::MetricsDoc::load(path));
     }
-    obs::write_metrics_file(opt.metrics_file, doc);
+    // "-" streams the document to `out` (pipeable into json.tool) instead
+    // of a file; the summary and diagnostics go to `err` either way, so
+    // the JSON on stdout stays parseable.
+    if (opt.metrics_file == "-") {
+      out << doc.to_json();
+    } else {
+      obs::write_metrics_file(opt.metrics_file, doc);
+    }
   }
   if (tracer) {
     trace_guard.reset();  // stop recording before serializing
-    tracer->write_file(opt.trace_file, doc.tool);
+    if (tracer->dropped() > 0) {
+      progress.print("warning: trace dropped " +
+                     std::to_string(tracer->dropped()) +
+                     " spans past the per-thread buffer cap\n");
+    }
+    if (opt.trace_file == "-") {
+      out << tracer->to_json(doc.tool);
+    } else {
+      tracer->write_file(opt.trace_file, doc.tool);
+    }
   }
   if (failures > 0) {
     progress.print(std::to_string(failures) + " of " +

@@ -43,12 +43,17 @@ struct RunCommandOptions {
   // can change results -- pinned by tests/test_obs.cpp's byte-identity
   // checks).
   std::string metrics_file;  ///< non-empty => write the per-scenario metrics
-                             ///< JSON snapshot (schema mram.metrics/1) here
+                             ///< JSON snapshot (schema mram.metrics/2) here;
+                             ///< "-" streams it to `out` instead
   std::vector<std::string> metrics_in;  ///< shard metrics JSONs folded into
                                         ///< metrics_file (counters add,
                                         ///< gauges last-wins); merge tool
   std::string trace_file;    ///< non-empty => write Chrome trace-event JSON
-                             ///< (Perfetto-loadable) here
+                             ///< (Perfetto-loadable) here; "-" = `out`
+  bool perf = false;         ///< hardware-counter profiling (perf_event
+                             ///< groups read at chunk boundaries); needs
+                             ///< metrics_file, degrades to the software
+                             ///< fallback when the PMU is unavailable
   bool progress = false;     ///< live progress/ETA line on stderr
   bool quiet = false;        ///< suppress the stderr summary and progress
                              ///< (failure diagnostics still print; exit

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -221,13 +222,35 @@ TEST(ScenariosCli, ObservabilityFlagsAreRunOnly) {
               std::string::npos)
         << flag;
   }
-  for (const char* flag : {"--progress", "--quiet"}) {
+  for (const char* flag : {"--progress", "--quiet", "--perf"}) {
     const auto r = scenarios({"list", flag});
     EXPECT_EQ(r.code, 2) << flag;
     EXPECT_NE(r.err.find(std::string(flag) + " is only valid for `run`"),
               std::string::npos)
         << flag;
   }
+}
+
+TEST(ScenariosCli, PerfNeedsAMetricsFile) {
+  const auto r = scenarios({"run", "wer_deep", "--perf"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--perf needs --metrics"), std::string::npos);
+}
+
+TEST(ScenariosCli, MetricsDashKeepsStdoutParseableAndExitsZero) {
+  // The exit-code contract of "-": a real (cheap) scenario run streaming
+  // the metrics document to stdout still exits 0, with the CSV payload
+  // routed to --out files so stdout is exactly one JSON document.
+  const auto dir = std::filesystem::temp_directory_path() / "mram_cli_dash";
+  std::filesystem::remove_all(dir);
+  const auto r = scenarios({"run", "march_cminus", "--trial-scale", "0.01",
+                            "--format", "csv", "--out", dir.string(),
+                            "--metrics", "-", "--quiet"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  ASSERT_FALSE(r.out.empty());
+  EXPECT_EQ(r.out.front(), '{');  // no status lines ahead of the document
+  EXPECT_NE(r.out.find("\"mram.metrics/2\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"march_cminus\""), std::string::npos);
 }
 
 TEST(ScenariosCli, MetricsFlagNeedsAValue) {

@@ -1,23 +1,29 @@
 // Observability layer tests: the metrics registry primitives, the JSON
 // parser / metrics-document round trip, the Chrome-trace recorder, the
-// serialized progress gate -- and the load-bearing integration contract
-// that none of the three CLI surfaces (--metrics, --trace, --progress) can
-// perturb results: CSV payloads stay byte-identical with instrumentation
-// on and off, at 1 and 4 threads.
+// serialized progress gate, the perf_event counter groups -- and the
+// load-bearing integration contract that none of the four CLI surfaces
+// (--metrics, --trace, --progress, --perf) can perturb results: CSV
+// payloads stay byte-identical with instrumentation on and off, at 1 and
+// 4 threads.
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "engine/monte_carlo.h"
+#include "engine/shard.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/metrics_io.h"
+#include "obs/perfctr.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
 #include "scenario/registry.h"
@@ -164,6 +170,43 @@ TEST(ObsHistogram, MergeIsExactInAnyOrder) {
   EXPECT_EQ(ab.max, 1ull << 40);
 }
 
+TEST(ObsHistogram, QuantileClampsToObservedRangeAndHandlesEdges) {
+  obs::Histogram empty;
+  EXPECT_EQ(empty.quantile(0.5), 0.0);
+
+  // A single value is exact at every q: the in-bucket interpolation is
+  // clamped to [min, max].
+  obs::Histogram one;
+  one.record(100);
+  EXPECT_DOUBLE_EQ(one.quantile(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(one.quantile(0.5), 100.0);
+  EXPECT_DOUBLE_EQ(one.quantile(1.0), 100.0);
+
+  // q outside (0, 1) returns the matching extreme.
+  obs::Histogram two;
+  two.record(4);
+  two.record(4096);
+  EXPECT_DOUBLE_EQ(two.quantile(-1.0), 4.0);
+  EXPECT_DOUBLE_EQ(two.quantile(2.0), 4096.0);
+}
+
+TEST(ObsHistogram, QuantilesAreMonotoneAndLandInTheRightBucket) {
+  obs::Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  const double p50 = h.quantile(0.50);
+  const double p90 = h.quantile(0.90);
+  const double p99 = h.quantile(0.99);
+  EXPECT_LE(static_cast<double>(h.min), p50);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, static_cast<double>(h.max));
+  // Uniform 1..1000: the log-linear interpolation puts the median near 500
+  // (bucket [256, 512), rank 500 of 1000 -> ~497), not at a bucket edge.
+  EXPECT_GT(p50, 400.0);
+  EXPECT_LT(p50, 600.0);
+  EXPECT_GT(p99, 900.0);
+}
+
 // --- chunk-block routing ----------------------------------------------------
 
 TEST(ObsRegistry, ChunkScopeRoutesCountersThroughTheBlock) {
@@ -192,8 +235,156 @@ TEST(ObsRegistry, NullBlockAndNoRegistryAreNoOps) {
   obs::gauge_set(obs::Gauge::kEngineThreads, 3.0);
   obs::hist_record(obs::Hist::kEngineCallNanos, 9);
   obs::series_append("x", 1.0, 2.0);
+  obs::tag_kernel(obs::KernelTag::kReadout);  // no block: also a no-op
   scope.finish(7);
   SUCCEED();  // contract: no registry installed, nothing to crash into
+}
+
+TEST(ObsRegistry, KernelTagFirstWinsAndConflictDegradesToMixed) {
+  obs::MetricsBlock homogeneous;
+  {
+    obs::ChunkScope scope(&homogeneous);
+    obs::tag_kernel(obs::KernelTag::kLlgW8);
+    obs::tag_kernel(obs::KernelTag::kLlgW8);  // re-stamping the tag is fine
+    scope.finish(3);
+  }
+  EXPECT_EQ(homogeneous.tag, obs::KernelTag::kLlgW8);
+
+  obs::MetricsBlock mixed;
+  {
+    obs::ChunkScope scope(&mixed);
+    obs::tag_kernel(obs::KernelTag::kReadout);
+    obs::tag_kernel(obs::KernelTag::kRare);  // second kernel: degrade
+    scope.finish(3);
+  }
+  EXPECT_EQ(mixed.tag, obs::KernelTag::kMixed);
+}
+
+// --- perf counter groups ----------------------------------------------------
+
+TEST(ObsPerf, RegistryFoldsChunkDeltasUnderTheKernelTag) {
+  // Synthetic samples exercise the fold exactly like a PMU would feed it,
+  // so the attribution machinery is testable on hosts with no PMU at all.
+  obs::MetricsBlock block;
+  block.tag = obs::KernelTag::kLlgW8;
+  block.perf_begin.valid = true;
+  block.perf_begin.value = {100, 200, 30, 4, 5, 60};
+  block.perf_begin.time_enabled = 1000;
+  block.perf_begin.time_running = 1000;
+  block.perf_end.valid = true;
+  block.perf_end.value = {1100, 2200, 130, 29, 21, 560};
+  block.perf_end.time_enabled = 3000;
+  block.perf_end.time_running = 2000;
+
+  obs::Registry reg;
+  reg.merge_block(block);
+  const obs::Snapshot snap = reg.snapshot();
+  // Per-tag keys and the cross-tag totals, all exact u64 deltas.
+  EXPECT_EQ(snap.counters.at("perf.llg_w8.chunks"), 1u);
+  EXPECT_EQ(snap.counters.at("perf.llg_w8.cycles"), 1000u);
+  EXPECT_EQ(snap.counters.at("perf.llg_w8.instructions"), 2000u);
+  EXPECT_EQ(snap.counters.at("perf.cycles"), 1000u);
+  EXPECT_EQ(snap.counters.at("perf.cache_refs"), 100u);
+  EXPECT_EQ(snap.counters.at("perf.cache_misses"), 25u);
+  EXPECT_EQ(snap.counters.at("perf.branch_misses"), 16u);
+  EXPECT_EQ(snap.counters.at("perf.stalled_backend"), 500u);
+  EXPECT_EQ(snap.counters.at("perf.chunks"), 1u);
+  EXPECT_EQ(snap.counters.at("perf.time_enabled_ns"), 2000u);
+  EXPECT_EQ(snap.counters.at("perf.time_running_ns"), 1000u);
+
+  // A chunk without valid bracketing samples contributes no perf keys.
+  obs::Registry bare;
+  bare.merge_block(obs::MetricsBlock{});
+  EXPECT_EQ(bare.snapshot().counters.count("perf.chunks"), 0u);
+}
+
+TEST(ObsPerf, ProbeClassifiesUnavailabilityInsteadOfFailing) {
+  const obs::PerfStatus st = obs::perf_probe();
+  if (st.available) {
+    EXPECT_EQ(st.fallback, obs::PerfFallback::kNone);
+    EXPECT_EQ(st.error, 0);
+  } else {
+    // Containers/VMs commonly land here (EPERM via perf_event_paranoid or
+    // seccomp; ENOENT with the PMU hidden): a classified reason plus a
+    // human-readable detail line, never a throw.
+    EXPECT_NE(st.fallback, obs::PerfFallback::kNone);
+    EXPECT_FALSE(st.detail.empty());
+  }
+}
+
+TEST(ObsPerf, SoftwareGroupReadsAreMonotone) {
+  // The hardware set needs a PMU, but the group machinery (open, group
+  // read layout, enable/reset ioctls) is identical for software events,
+  // which work even where the PMU is hidden.
+  obs::PerfGroup group;
+  const obs::PerfStatus st = group.open_software();
+  if (!st.available) {
+    GTEST_SKIP() << "perf_event_open unavailable here: " << st.detail;
+  }
+  ASSERT_TRUE(group.is_open());
+  ASSERT_EQ(group.n_events(), 3u);
+
+  obs::PerfSample a, b;
+  ASSERT_TRUE(group.read(a));
+  EXPECT_TRUE(a.valid);
+  volatile double sink = 0.0;  // burn task-clock between the two reads
+  for (int i = 0; i < 200000; ++i) sink = sink + 0.5;
+  ASSERT_TRUE(group.read(b));
+  for (std::size_t e = 0; e < group.n_events(); ++e) {
+    EXPECT_GE(b.value[e], a.value[e]) << "event " << e;
+  }
+  EXPECT_GT(b.value[0], a.value[0]);  // task-clock (the leader) advanced
+  EXPECT_GT(b.time_enabled, a.time_enabled);
+
+  group.close();
+  EXPECT_FALSE(group.is_open());
+  obs::PerfSample after;
+  EXPECT_FALSE(group.read(after));
+  EXPECT_FALSE(after.valid);
+}
+
+// --- derived efficiency report ----------------------------------------------
+
+TEST(ObsDerived, RatiosComeFromFoldedTotals) {
+  obs::Snapshot s;
+  s.counters["engine.trials"] = 1000;
+  s.counters["engine.busy_ns"] = 2'000'000;
+  s.counters["perf.cycles"] = 4000;
+  s.counters["perf.instructions"] = 8000;
+  s.counters["perf.cache_refs"] = 100;
+  s.counters["perf.cache_misses"] = 25;
+  s.counters["perf.branch_misses"] = 16;
+  s.counters["perf.stalled_backend"] = 1000;
+  s.counters["perf.time_enabled_ns"] = 1000;
+  s.counters["perf.time_running_ns"] = 500;
+  s.counters["llg.flops"] = 40000;
+  s.counters["perf.llg_w8.cycles"] = 4000;
+
+  const auto d = obs::derived_metrics(s);
+  EXPECT_DOUBLE_EQ(d.at("perf.ipc"), 2.0);
+  EXPECT_DOUBLE_EQ(d.at("perf.cycles_per_trial"), 4.0);
+  EXPECT_DOUBLE_EQ(d.at("perf.cache_miss_rate"), 0.25);
+  EXPECT_DOUBLE_EQ(d.at("perf.branch_miss_per_kinsn"), 2.0);
+  EXPECT_DOUBLE_EQ(d.at("perf.stalled_backend_frac"), 0.25);
+  EXPECT_DOUBLE_EQ(d.at("perf.multiplex_frac"), 0.5);
+  EXPECT_DOUBLE_EQ(d.at("llg.est_flops_per_cycle"), 10.0);
+  EXPECT_DOUBLE_EQ(d.at("engine.ns_per_trial"), 2000.0);
+  EXPECT_DOUBLE_EQ(d.at("engine.trials_per_sec"), 5e5);
+}
+
+TEST(ObsDerived, SoftwareFallbackRowsNeedNoHardwareCounters) {
+  // This IS the efficiency report on hosts where perf_event_open fails:
+  // steady-clock busy time over retired trials, nothing hardware-derived.
+  obs::Snapshot s;
+  s.counters["engine.trials"] = 10;
+  s.counters["engine.busy_ns"] = 100;
+  const auto d = obs::derived_metrics(s);
+  EXPECT_DOUBLE_EQ(d.at("engine.ns_per_trial"), 10.0);
+  EXPECT_EQ(d.count("perf.ipc"), 0u);
+  EXPECT_EQ(d.count("llg.est_flops_per_cycle"), 0u);
+
+  // And an empty engine (merge replays, failed scenarios) derives nothing.
+  EXPECT_TRUE(obs::derived_metrics(obs::Snapshot{}).empty());
 }
 
 // --- JSON parser ------------------------------------------------------------
@@ -284,6 +475,38 @@ TEST(ObsMetricsDoc, ParseRejectsWrongSchema) {
                util::ConfigError);
 }
 
+TEST(ObsMetricsDoc, WritesV2AndStillParsesV1) {
+  // /2 is a strict additive superset of /1: the writer stamps /2, and the
+  // shard dumps older builds wrote (stamped /1) still load for merging.
+  const obs::MetricsDoc doc = sample_doc();
+  std::string json = doc.to_json();
+  EXPECT_NE(json.find("\"mram.metrics/2\""), std::string::npos);
+  const std::string::size_type at = json.find("mram.metrics/2");
+  ASSERT_NE(at, std::string::npos);
+  json.replace(at, std::string("mram.metrics/2").size(), "mram.metrics/1");
+  const obs::MetricsDoc v1 = obs::MetricsDoc::parse(json);
+  EXPECT_EQ(v1.tool, "mram_scenarios");
+  ASSERT_NE(find_scenario(v1, "sample"), nullptr);
+}
+
+TEST(ObsMetricsDoc, HistogramJsonCarriesPercentilesAndDerivedSection) {
+  obs::MetricsDoc doc = sample_doc();
+  // Give the sample enough state for a derived row (busy time + trials).
+  doc.scenario("sample").snapshot.counters["engine.busy_ns"] = 1000;
+  const std::string json = doc.to_json();
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p90\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"derived\""), std::string::npos);
+  EXPECT_NE(json.find("\"engine.ns_per_trial\""), std::string::npos);
+  // Both sections are recomputed at emission time, never parsed back: the
+  // round trip through parse() must still succeed and stay lossless.
+  const obs::MetricsDoc back = obs::MetricsDoc::parse(json);
+  const auto* s = find_scenario(back, "sample");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->snapshot.histograms.at("engine.chunk_ns").count, 4u);
+}
+
 TEST(ObsMetricsDoc, FoldAddsCountersLastWinsGaugesConcatsSeries) {
   obs::Snapshot into, from;
   into.counters["a"] = 1;
@@ -358,6 +581,35 @@ TEST(ObsTrace, EmitsParseableChromeTraceJson) {
   EXPECT_TRUE(saw_process_name);
 }
 
+TEST(ObsTrace, CapDropsSpansCountsThemAndKeepsTheJsonValid) {
+  obs::Registry reg;
+  obs::ScopedRegistry rguard(&reg);
+  obs::TraceRecorder rec(/*max_spans_per_thread=*/4);
+  for (int i = 0; i < 10; ++i) {
+    rec.add_span("unit", "s" + std::to_string(i),
+                 static_cast<std::uint64_t>(i), 1);
+  }
+  EXPECT_EQ(rec.dropped(), 6u);
+  // Dropping is loss, never corruption: the document still parses and
+  // holds exactly the spans that fit under the cap.
+  const auto doc = obs::json_parse(rec.to_json("capped"));
+  const auto& events = doc.expect("traceEvents", "traceEvents");
+  std::size_t spans = 0;
+  for (const auto& e : events.array) {
+    if (e.expect("ph", "ph").as_string("ph") == "X") ++spans;
+  }
+  EXPECT_EQ(spans, 4u);
+  // The drops surfaced as a metrics counter (serial context here, so it
+  // lands in the registry directly).
+  EXPECT_EQ(reg.snapshot().counters.at("trace.spans_dropped"), 6u);
+}
+
+TEST(ObsTrace, UncappedRecorderDropsNothing) {
+  obs::TraceRecorder rec;
+  for (int i = 0; i < 100; ++i) rec.add_span("unit", "s", 0, 1);
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
 TEST(ObsTrace, DisabledPathNeverBuildsTheName) {
   bool called = false;
   {
@@ -398,6 +650,80 @@ TEST(ObsProgress, LiveLineIsClearedAroundPrints) {
   EXPECT_NE(s.find("\x1b[Kstatus line\n"), std::string::npos);
 }
 
+std::size_t count_redraws(const std::string& s) {
+  std::size_t n = 0;
+  for (std::string::size_type at = s.find("\r\x1b[K");
+       at != std::string::npos; at = s.find("\r\x1b[K", at + 1)) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(ObsProgress, RedrawThrottleCoalescesRapidTicksButCountsAllOfThem) {
+  std::ostringstream err;
+  obs::Progress p(err, /*live=*/true);
+  p.begin_scenario("throttle", 0, 1);
+  p.begin_call(100000);
+  const std::size_t baseline = count_redraws(err.str());
+
+  // 50k ticks land well inside one ~8 Hz redraw interval: at most one of
+  // them can win the CAS on the redraw stamp (slack for a slow machine).
+  for (int i = 0; i < 50000; ++i) p.add_trials(1);
+  EXPECT_LE(count_redraws(err.str()) - baseline, 1u);
+  // Every tick counted even though almost none drew.
+  EXPECT_EQ(p.trials_done(), 50000u);
+
+  // Once the interval has elapsed, the next tick redraws (ETA included:
+  // enough time has passed for the rate estimate to print).
+  std::this_thread::sleep_for(std::chrono::milliseconds(130));
+  const std::size_t before = count_redraws(err.str());
+  p.add_trials(1);
+  EXPECT_EQ(count_redraws(err.str()), before + 1);
+  EXPECT_EQ(p.trials_done(), 50001u);
+  EXPECT_NE(err.str().find("trials/s"), std::string::npos);
+  p.finish();
+}
+
+TEST(ObsProgress, ShardModeAnnouncesTheSliceNotTheFullCall) {
+  std::ostringstream err;
+  obs::Progress progress(err, /*live=*/false);
+  obs::ScopedProgress guard(&progress);
+  progress.begin_scenario("probe", 0, 1);
+
+  eng::RunnerConfig cfg;
+  cfg.threads = 2;
+  eng::MonteCarloRunner runner(cfg);
+  const auto trial = [](util::Rng& rng, std::size_t,
+                        util::RunningStats& acc) { acc.add(rng.normal()); };
+  constexpr std::uint64_t kTrials = 1000;
+
+  // Plain run: the bar covers the whole call and ends exactly full.
+  runner.run<util::RunningStats>(kTrials, 1, trial);
+  EXPECT_EQ(progress.trials_total(), kTrials);
+  EXPECT_EQ(progress.trials_done(), kTrials);
+
+  // Shard runs: each announces only its own chunk slice (the ETA is then
+  // this shard's, not a 4x overestimate), ends full, and the slices cover
+  // the call exactly.
+  const fs::path dir = make_temp_dir("progress_shard");
+  std::uint64_t announced = 0;
+  for (std::size_t s = 0; s < 4; ++s) {
+    eng::ShardIo io;
+    io.mode = eng::ShardMode::kShard;
+    io.shard = eng::ShardSpec{s, 4};
+    io.dir = (dir / std::to_string(s)).string();
+    fs::create_directories(io.dir);
+    runner.set_shard_io(io);
+    runner.run<util::RunningStats>(kTrials, 1, trial);
+    EXPECT_LT(progress.trials_total(), kTrials) << "shard " << s;
+    EXPECT_EQ(progress.trials_done(), progress.trials_total())
+        << "shard " << s;
+    announced += progress.trials_total();
+  }
+  EXPECT_EQ(announced, kTrials);
+  progress.end_scenario();
+}
+
 // --- integration: instrumentation cannot perturb results --------------------
 
 TEST(ObsRun, MetricsTraceProgressKeepCsvByteIdentical) {
@@ -414,6 +740,7 @@ TEST(ObsRun, MetricsTraceProgressKeepCsvByteIdentical) {
     opt.trace_file =
         (dir / ("trace_t" + std::to_string(threads) + ".json")).string();
     opt.progress = true;
+    opt.perf = true;  // chunk-boundary hardware sampling (or its fallback)
     std::ostringstream out, err;
     ASSERT_EQ(run_scenarios(registry, opt, out, err), 0) << err.str();
     EXPECT_EQ(out.str(), reference) << "threads=" << threads;
@@ -421,6 +748,81 @@ TEST(ObsRun, MetricsTraceProgressKeepCsvByteIdentical) {
     EXPECT_NE(err.str().find("\x1b[K"), std::string::npos);
     EXPECT_NE(err.str().find("[1/2] mc_pair"), std::string::npos);
   }
+}
+
+TEST(ObsRun, PerfRunReportsHardwareCountersOrTheDocumentedFallback) {
+  const auto registry = mc_registry();
+  const fs::path dir = make_temp_dir("perfrun");
+  auto opt = base_options({"mc_pair"}, 2);
+  opt.metrics_file = (dir / "metrics.json").string();
+  opt.perf = true;
+  std::ostringstream out, err;
+  // Unavailability is a reported state, never a failure: exit 0 either way.
+  ASSERT_EQ(run_scenarios(registry, opt, out, err), 0) << err.str();
+
+  const std::string raw = slurp(opt.metrics_file);
+  EXPECT_NE(raw.find("\"mram.metrics/2\""), std::string::npos);
+  EXPECT_NE(raw.find("\"p50\""), std::string::npos);
+  EXPECT_NE(raw.find("\"derived\""), std::string::npos);
+  // The software efficiency rows are derivable on every host.
+  EXPECT_NE(raw.find("\"engine.ns_per_trial\""), std::string::npos);
+  // And the summary gained the chunk-latency percentile columns.
+  EXPECT_NE(err.str().find("chunk p50"), std::string::npos);
+
+  const auto doc = obs::MetricsDoc::load(opt.metrics_file);
+  const auto* s = find_scenario(doc, "mc_pair");
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->snapshot.gauges.count("perf.active"), 1u);
+  if (s->snapshot.gauges.at("perf.active") == 1.0) {
+    // Live PMU: real cycle counts and a hardware-derived IPC row.
+    EXPECT_GT(counter_of(*s, "perf.cycles"), 0u);
+    EXPECT_GT(counter_of(*s, "perf.chunks"), 0u);
+    EXPECT_NE(raw.find("\"perf.ipc\""), std::string::npos);
+  } else {
+    // Degraded host (container/VM): the reason is recorded as a gauge and
+    // the console said why, but nothing failed.
+    EXPECT_GT(s->snapshot.gauges.at("perf.fallback_reason"), 0.0);
+    EXPECT_NE(err.str().find("hardware counters unavailable"),
+              std::string::npos);
+    EXPECT_EQ(counter_of(*s, "perf.chunks"), 0u);
+  }
+}
+
+TEST(ObsRun, MetricsDashStreamsOneParseableDocumentToStdout) {
+  const auto registry = mc_registry();
+  const fs::path dir = make_temp_dir("metrics_dash");
+  auto opt = base_options({"mc_solo"}, 2);
+  opt.out_dir = (dir / "csv").string();  // results go to files...
+  opt.metrics_file = "-";                // ...stdout is the metrics JSON
+  std::ostringstream out, err;
+  ASSERT_EQ(run_scenarios(registry, opt, out, err), 0) << err.str();
+  // The whole stdout payload parses as one document -- pipeable into
+  // json.tool with no temp file.
+  const auto doc = obs::MetricsDoc::parse(out.str());
+  ASSERT_NE(find_scenario(doc, "mc_solo"), nullptr);
+  // The one-line scenario status moved to the stderr gate to keep it so.
+  EXPECT_NE(err.str().find("ok   mc_solo"), std::string::npos);
+}
+
+TEST(ObsRun, TraceDashStreamsTheTraceToStdout) {
+  const auto registry = mc_registry();
+  const fs::path dir = make_temp_dir("trace_dash");
+  auto opt = base_options({"mc_solo"}, 2);
+  opt.out_dir = (dir / "csv").string();
+  opt.trace_file = "-";
+  std::ostringstream out, err;
+  ASSERT_EQ(run_scenarios(registry, opt, out, err), 0) << err.str();
+  const auto doc = obs::json_parse(out.str());
+  EXPECT_TRUE(doc.expect("traceEvents", "traceEvents")
+                  .is(obs::JsonValue::Kind::kArray));
+}
+
+TEST(ObsRun, PerfWithoutMetricsIsAConfigError) {
+  const auto registry = mc_registry();
+  auto opt = base_options({"mc_solo"}, 1);
+  opt.perf = true;  // no metrics_file: nowhere for the efficiency report
+  std::ostringstream out, err;
+  EXPECT_THROW(run_scenarios(registry, opt, out, err), util::ConfigError);
 }
 
 TEST(ObsRun, MetricsFileMatchesTheSchemaAndTheTrialCounts) {
